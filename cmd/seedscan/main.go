@@ -1,0 +1,370 @@
+// Command seedscan is the operator CLI for the seedscan library: it builds
+// a simulated IPv6 Internet, collects seed datasets, preprocesses them,
+// runs Target Generation Algorithms, scans, and dealiases — the same
+// pipeline the experiments use, exposed piecewise.
+//
+// Subcommands:
+//
+//	world     print the simulated Internet's composition
+//	collect   collect one seed source and print its statistics
+//	run       run one TGA end-to-end (generate, scan, dealias, measure)
+//	scan      scan a dataset's addresses on one protocol
+//	dealias   split a dataset into clean and aliased addresses
+//
+// Every subcommand accepts -seed/-ases/-scale to shape the environment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"seedscan/internal/alias"
+	"seedscan/internal/experiment"
+	"seedscan/internal/hitlist"
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/seeds"
+	"seedscan/internal/tga/all"
+	"seedscan/internal/world"
+	"seedscan/internal/zdns"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "world":
+		err = cmdWorld(args)
+	case "collect":
+		err = cmdCollect(args)
+	case "run":
+		err = cmdRun(args)
+	case "scan":
+		err = cmdScan(args)
+	case "dealias":
+		err = cmdDealias(args)
+	case "hitlist":
+		err = cmdHitlist(args)
+	case "resolve":
+		err = cmdResolve(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "seedscan: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seedscan:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: seedscan <command> [flags]
+
+commands:
+  world     print the simulated Internet's composition
+  collect   collect one seed source and print its statistics
+  run       run one TGA end-to-end (generate, scan, dealias, measure)
+  scan      scan a dataset's addresses on one protocol
+  dealias   split a dataset into clean and aliased addresses
+  hitlist   run the full hitlist-service pipeline and publish artifacts
+  resolve   simulate a ZDNS AAAA-resolution campaign over synthetic domains
+
+run 'seedscan <command> -h' for per-command flags`)
+}
+
+// envFlags wires the shared environment flags into fs.
+func envFlags(fs *flag.FlagSet) (seed *uint64, ases *int, scale *float64) {
+	seed = fs.Uint64("seed", 42, "world seed")
+	ases = fs.Int("ases", 200, "number of ASes")
+	scale = fs.Float64("scale", 0.5, "seed collection scale")
+	return
+}
+
+func buildEnv(seed uint64, ases int, scale float64, budget int) *experiment.Env {
+	return experiment.NewEnv(experiment.EnvConfig{
+		WorldSeed: seed, NumASes: ases, CollectScale: scale, Budget: budget,
+	})
+}
+
+func cmdWorld(args []string) error {
+	fs := flag.NewFlagSet("world", flag.ExitOnError)
+	seed, ases, _ := envFlags(fs)
+	fs.Parse(args)
+
+	w := world.New(world.Config{Seed: *seed, NumASes: *ases})
+	byClass := map[string]int{}
+	aliased := 0
+	var hosts float64
+	for _, r := range w.Regions() {
+		if r.Aliased {
+			aliased++
+			continue
+		}
+		byClass[r.Class.String()]++
+		hosts += r.ExpectedHosts()
+	}
+	fmt.Printf("world seed=%d: %d ASes, %d regions (%d aliased), ~%.0f hosts\n",
+		*seed, w.ASDB().Len(), len(w.Regions()), aliased, hosts)
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Printf("  %-12s %d regions\n", c, byClass[c])
+	}
+	byOrg := map[string]int{}
+	for _, as := range w.ASDB().All() {
+		byOrg[as.Type.String()]++
+	}
+	orgs := make([]string, 0, len(byOrg))
+	for o := range byOrg {
+		orgs = append(orgs, o)
+	}
+	sort.Strings(orgs)
+	for _, o := range orgs {
+		fmt.Printf("  %-12s %d ASes\n", o, byOrg[o])
+	}
+	return nil
+}
+
+func parseSource(name string) (seeds.Source, error) {
+	for _, s := range seeds.AllSources {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown source %q (one of: %v)", name, seeds.AllSources)
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	seed, ases, scale := envFlags(fs)
+	src := fs.String("source", "IPv6 Hitlist", "seed source name")
+	show := fs.Int("show", 5, "sample addresses to print")
+	out := fs.String("o", "", "write the dataset to this file (.gz for gzip)")
+	fs.Parse(args)
+
+	s, err := parseSource(*src)
+	if err != nil {
+		return err
+	}
+	env := buildEnv(*seed, *ases, *scale, 0)
+	ds := env.Sources[s]
+	fmt.Printf("%s: %d unique addresses, %d ASes\n", ds.Name, ds.Len(), ds.ASCount(env.World.ASDB()))
+	aliasedN, activeN := 0, 0
+	ds.Addrs.Each(func(a ipaddrAddr) {
+		if env.World.IsAliased(a) {
+			aliasedN++
+		}
+		if env.World.ActiveOnAny(a, world.ScanEpoch) {
+			activeN++
+		}
+	})
+	fmt.Printf("  aliased: %d (%.1f%%), responsive at scan time: %d (%.1f%%)\n",
+		aliasedN, 100*float64(aliasedN)/float64(ds.Len()),
+		activeN, 100*float64(activeN)/float64(ds.Len()))
+	for i, a := range ds.Addrs.Sorted() {
+		if i >= *show {
+			break
+		}
+		fmt.Println(" ", a)
+	}
+	if *out != "" {
+		if err := ds.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d addresses to %s\n", ds.Len(), *out)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed, ases, scale := envFlags(fs)
+	gen := fs.String("tga", "6Tree", "generator: "+strings.Join(all.Names, ", "))
+	protoName := fs.String("proto", "icmp", "protocol: icmp, tcp80, tcp443, udp53")
+	budget := fs.Int("budget", 20000, "generation budget")
+	dataset := fs.String("seeds", "allactive", "seed treatment: full, dealiased, allactive, port")
+	fs.Parse(args)
+
+	p, err := proto.Parse(*protoName)
+	if err != nil {
+		return err
+	}
+	env := buildEnv(*seed, *ases, *scale, *budget)
+	var seedSet []ipaddrAddr
+	switch *dataset {
+	case "full":
+		seedSet = env.Full.Slice()
+	case "dealiased":
+		seedSet = env.DealiasedSeeds(alias.ModeJoint).Slice()
+	case "allactive":
+		seedSet = env.AllActiveSeeds().Slice()
+	case "port":
+		seedSet = env.PortActiveSeeds(p).Slice()
+	default:
+		return fmt.Errorf("unknown seed treatment %q", *dataset)
+	}
+	fmt.Printf("running %s on %d seeds (%s), %s, budget %d\n", *gen, len(seedSet), *dataset, p, *budget)
+	res, err := env.RunTGA(*gen, seedSet, p, *budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated: %d unique candidates (exhausted=%v)\n", res.Run.Generated, res.Run.Exhausted)
+	fmt.Printf("hits: %d dealiased active addresses in %d ASes; %d aliased discarded\n",
+		res.Outcome.Hits, res.Outcome.ASes, res.Outcome.Aliases)
+	fmt.Printf("scanner: %d packets sent, %.1fs virtual scan time at 10k pps\n",
+		env.Scanner.Stats().PacketsSent.Load(), env.Scanner.VirtualElapsed())
+	return nil
+}
+
+func cmdScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	seed, ases, scale := envFlags(fs)
+	src := fs.String("source", "IPv6 Hitlist", "seed source to scan")
+	protoName := fs.String("proto", "icmp", "protocol")
+	fs.Parse(args)
+
+	p, err := proto.Parse(*protoName)
+	if err != nil {
+		return err
+	}
+	s, err := parseSource(*src)
+	if err != nil {
+		return err
+	}
+	env := buildEnv(*seed, *ases, *scale, 0)
+	ds := env.Sources[s]
+	results := env.Scanner.Scan(ds.Slice(), p)
+	counts := map[string]int{}
+	for _, r := range results {
+		counts[r.Status.String()]++
+	}
+	fmt.Printf("scanned %s on %s: %d targets\n", ds.Name, p, len(results))
+	for _, k := range []string{"active", "silent", "rst", "unreachable", "blocked"} {
+		if counts[k] > 0 {
+			fmt.Printf("  %-12s %d\n", k, counts[k])
+		}
+	}
+	return nil
+}
+
+func cmdDealias(args []string) error {
+	fs := flag.NewFlagSet("dealias", flag.ExitOnError)
+	seed, ases, scale := envFlags(fs)
+	src := fs.String("source", "AddrMiner", "seed source to dealias")
+	modeName := fs.String("mode", "joint", "mode: none, offline, online, joint")
+	fs.Parse(args)
+
+	var mode alias.Mode
+	switch *modeName {
+	case "none":
+		mode = alias.ModeNone
+	case "offline":
+		mode = alias.ModeOffline
+	case "online":
+		mode = alias.ModeOnline
+	case "joint":
+		mode = alias.ModeJoint
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+	s, err := parseSource(*src)
+	if err != nil {
+		return err
+	}
+	env := buildEnv(*seed, *ases, *scale, 0)
+	ds := env.Sources[s]
+	d := alias.New(mode, env.Offline, env.Scanner, proto.ICMP, *seed)
+	clean, aliased := d.Split(ds.Slice())
+	fmt.Printf("%s under %s dealiasing: %d clean, %d aliased (%d /96s tested, %d probes)\n",
+		ds.Name, mode, len(clean), len(aliased), d.PrefixesTested(), d.ProbesSent())
+	return nil
+}
+
+func cmdHitlist(args []string) error {
+	fs := flag.NewFlagSet("hitlist", flag.ExitOnError)
+	seed, ases, scale := envFlags(fs)
+	outAddrs := fs.String("o", "", "write the responsive list to this file (.gz for gzip)")
+	outAliases := fs.String("aliases", "", "write the aliased-prefix list to this file")
+	fs.Parse(args)
+
+	env := buildEnv(*seed, *ases, *scale, 0)
+	svc, err := hitlist.New(hitlist.Config{
+		Prober:       env.Scanner,
+		KnownAliases: env.Offline,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+	inputs := make([]*seeds.Dataset, 0, len(env.Sources))
+	for _, src := range seeds.AllSources {
+		inputs = append(inputs, env.Sources[src])
+	}
+	snap, err := svc.Build(inputs...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(snap.Summary())
+	if *outAddrs != "" {
+		if err := snap.ResponsiveDataset().WriteFile(*outAddrs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote responsive list to %s\n", *outAddrs)
+	}
+	if *outAliases != "" {
+		f, err := os.Create(*outAliases)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := seeds.WritePrefixes(f, snap.AliasedPrefixes); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d aliased prefixes to %s\n", len(snap.AliasedPrefixes), *outAliases)
+	}
+	return nil
+}
+
+func cmdResolve(args []string) error {
+	fs := flag.NewFlagSet("resolve", flag.ExitOnError)
+	seed, ases, _ := envFlags(fs)
+	n := fs.Int("n", 20000, "number of synthetic domains to resolve")
+	rate := fs.Float64("rate", 0.047, "AAAA response rate (CT-log default; toplists ~0.25)")
+	out := fs.String("o", "", "write resolved addresses to this file")
+	fs.Parse(args)
+
+	w := world.New(world.Config{Seed: *seed, NumASes: *ases})
+	w.SetEpoch(world.CollectEpoch)
+	zone, err := zdns.NewZone(w, zdns.ZoneConfig{Seed: *seed + 1, AAAARate: *rate})
+	if err != nil {
+		return err
+	}
+	names := zdns.GenerateNames(*seed+2, *n)
+	set, stats := (&zdns.Resolver{Zone: zone}).ResolveAll(names)
+	fmt.Printf("resolved %d domains: %d AAAA responses, %d records, %d unique IPv6 addresses\n",
+		stats.Domains, stats.AAAAs, stats.Records, stats.UniqueIPs)
+	if *out != "" {
+		ds := seeds.FromSet("resolved", set)
+		if err := ds.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d addresses to %s\n", ds.Len(), *out)
+	}
+	return nil
+}
+
+// ipaddrAddr shortens the address type name in this file.
+type ipaddrAddr = ipaddr.Addr

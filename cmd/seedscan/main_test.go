@@ -1,0 +1,105 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The command functions run end to end against small environments; these
+// tests cover argument validation and the success paths (output goes to
+// stdout, which `go test` swallows).
+
+var smallEnv = []string{"-ases", "50", "-scale", "0.15"}
+
+func TestCmdWorld(t *testing.T) {
+	if err := cmdWorld([]string{"-ases", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCollect(t *testing.T) {
+	args := append([]string{"-source", "Scamper", "-show", "1"}, smallEnv...)
+	if err := cmdCollect(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCollectUnknownSource(t *testing.T) {
+	if err := cmdCollect(append([]string{"-source", "NotASource"}, smallEnv...)); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestCmdCollectExport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.txt")
+	args := append([]string{"-source", "Umbrella", "-o", out}, smallEnv...)
+	if err := cmdCollect(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRun(t *testing.T) {
+	args := append([]string{"-tga", "6Tree", "-proto", "icmp", "-budget", "1500", "-seeds", "allactive"}, smallEnv...)
+	if err := cmdRun(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRunBadArgs(t *testing.T) {
+	if err := cmdRun(append([]string{"-proto", "gopher"}, smallEnv...)); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	if err := cmdRun(append([]string{"-seeds", "everything"}, smallEnv...)); err == nil {
+		t.Fatal("bad treatment accepted")
+	}
+	if err := cmdRun(append([]string{"-tga", "9Tree", "-budget", "100"}, smallEnv...)); err == nil {
+		t.Fatal("bad generator accepted")
+	}
+}
+
+func TestCmdScan(t *testing.T) {
+	args := append([]string{"-source", "Umbrella", "-proto", "tcp443"}, smallEnv...)
+	if err := cmdScan(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdDealias(t *testing.T) {
+	args := append([]string{"-source", "AddrMiner", "-mode", "joint"}, smallEnv...)
+	if err := cmdDealias(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDealias(append([]string{"-mode", "sideways"}, smallEnv...)); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestCmdHitlist(t *testing.T) {
+	dir := t.TempDir()
+	args := append([]string{
+		"-o", filepath.Join(dir, "responsive.txt"),
+		"-aliases", filepath.Join(dir, "aliases.txt"),
+	}, smallEnv...)
+	if err := cmdHitlist(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSource(t *testing.T) {
+	if _, err := parseSource("ipv6 hitlist"); err != nil {
+		t.Fatal("case-insensitive match failed")
+	}
+	if _, err := parseSource(""); err == nil {
+		t.Fatal("empty source accepted")
+	}
+}
+
+func TestCmdResolve(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "resolved.txt")
+	if err := cmdResolve([]string{"-ases", "40", "-n", "2000", "-rate", "0.2", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdResolve([]string{"-ases", "40", "-rate", "0"}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}

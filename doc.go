@@ -1,0 +1,14 @@
+// Package seedscan reproduces "Seeds of Scanning: Exploring the Effects of
+// Datasets, Methods, and Metrics on IPv6 Internet Scanning" (Williams &
+// Pearce, IMC 2024) as a self-contained Go system: eight Target Generation
+// Algorithms, a Scanv6-style wire-format scanner, two-tier dealiasing,
+// twelve seed-source collectors, the paper's metrics, and an experiment
+// harness regenerating every table and figure — all running against a
+// deterministic simulated IPv6 Internet instead of live scans.
+//
+// The root package carries the module documentation and the benchmark
+// harness (bench_test.go); the implementation lives under internal/ and
+// the runnable entry points under cmd/ and examples/. See README.md for a
+// tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-versus-measured results.
+package seedscan

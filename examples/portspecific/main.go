@@ -1,0 +1,43 @@
+// Port-specific example: tailoring seeds to the scan target (RQ2).
+//
+// For each protocol it compares a TGA fed the All Active dataset against
+// the same TGA fed only seeds responsive on the protocol being scanned —
+// reproducing the paper's hits-versus-diversity tradeoff: port-specific
+// seeds find more application-layer hits but cover fewer networks.
+//
+//	go run ./examples/portspecific
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seedscan/internal/experiment"
+	"seedscan/internal/proto"
+)
+
+func main() {
+	env := experiment.NewEnv(experiment.EnvConfig{
+		WorldSeed: 31, NumASes: 120, CollectScale: 0.4,
+	})
+	const gen = "DET" // the paper's most port-sensitive generator
+	const budget = 10000
+
+	fmt.Printf("generator: %s, budget %d per run\n\n", gen, budget)
+	fmt.Printf("%-8s %14s %14s %10s %10s\n", "proto", "hits(all)", "hits(port)", "ASes(all)", "ASes(port)")
+	for _, p := range proto.All {
+		allRes, err := env.RunTGA(gen, env.AllActiveSeeds().Slice(), p, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		portRes, err := env.RunTGA(gen, env.PortActiveSeeds(p).Slice(), p, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %14d %14d %10d %10d\n", p,
+			allRes.Outcome.Hits, portRes.Outcome.Hits,
+			allRes.Outcome.ASes, portRes.Outcome.ASes)
+	}
+	fmt.Println("\nPort-specific seeds raise TCP/UDP hits; the All Active dataset keeps")
+	fmt.Println("broader AS coverage — weigh the tradeoff per use case (RQ2 takeaway).")
+}

@@ -1,0 +1,3 @@
+module seedscan
+
+go 1.22

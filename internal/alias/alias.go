@@ -1,0 +1,255 @@
+// Package alias implements the paper's two dealiasing approaches (§2.2,
+// §4.2) and their combination:
+//
+//   - Offline: filtering against a published list of known aliased
+//     prefixes (the IPv6 Hitlist's list). The list is incomplete, so
+//     offline filtering alone misses never-before-seen aliases.
+//   - Online: the 6Gen method. For every new /96 prefix observed among
+//     active addresses, probe 3 random addresses inside it (with retries);
+//     if 2 or more answer, the whole /96 is an alias and every address in
+//     it is discarded.
+//   - Joint: offline first (free), then online for the rest — the
+//     configuration the paper recommends.
+package alias
+
+import (
+	"sort"
+	"sync"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+)
+
+// AliasPrefixBits is the prefix granularity of the online test. The paper
+// keeps 6Gen's /96 (4 billion addresses per prefix).
+const AliasPrefixBits = 96
+
+// Online-test parameters from §4.2: 3 random addresses, aliased when 2+
+// answer.
+const (
+	ProbesPerPrefix = 3
+	AliasThreshold  = 2
+)
+
+// Mode selects a dealiasing treatment; the RQ1.a experiment sweeps all
+// four.
+type Mode uint8
+
+const (
+	ModeNone Mode = iota
+	ModeOffline
+	ModeOnline
+	ModeJoint
+)
+
+// String names the mode using the paper's D_* notation.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeOffline:
+		return "offline"
+	case ModeOnline:
+		return "online"
+	case ModeJoint:
+		return "joint"
+	}
+	return "mode?"
+}
+
+// Modes lists all treatments in Table 4 order.
+var Modes = []Mode{ModeNone, ModeOffline, ModeOnline, ModeJoint}
+
+// OfflineList is a static set of known aliased prefixes.
+type OfflineList struct {
+	trie *ipaddr.Trie
+	n    int
+}
+
+// NewOfflineList builds a list from known aliased prefixes.
+func NewOfflineList(prefixes []ipaddr.Prefix) *OfflineList {
+	t := ipaddr.NewTrie()
+	for _, p := range prefixes {
+		t.Insert(p, true)
+	}
+	return &OfflineList{trie: t, n: len(prefixes)}
+}
+
+// Len returns the number of listed prefixes.
+func (l *OfflineList) Len() int { return l.n }
+
+// Contains reports whether a falls in a listed aliased prefix.
+func (l *OfflineList) Contains(a ipaddr.Addr) bool { return l.trie.Contains(a) }
+
+// Prober abstracts the scanner for the online test.
+type Prober interface {
+	ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr
+}
+
+// Dealiaser splits address lists into clean and aliased parts under a
+// given mode. The zero value is unusable; construct with New.
+type Dealiaser struct {
+	mode    Mode
+	offline *OfflineList
+	prober  Prober
+	proto   proto.Protocol
+
+	mu      sync.Mutex
+	verdict map[ipaddr.Prefix]bool // online /96 verdict cache
+	probes  int
+	tested  int
+	rngSeed uint64
+}
+
+// New builds a Dealiaser. offline may be nil for ModeNone/ModeOnline;
+// prober may be nil for ModeNone/ModeOffline.
+func New(mode Mode, offline *OfflineList, prober Prober, p proto.Protocol, seed uint64) *Dealiaser {
+	return &Dealiaser{
+		mode:    mode,
+		offline: offline,
+		prober:  prober,
+		proto:   p,
+		verdict: make(map[ipaddr.Prefix]bool),
+		rngSeed: seed,
+	}
+}
+
+// Mode returns the configured mode.
+func (d *Dealiaser) Mode() Mode { return d.mode }
+
+// ProbesSent reports how many dealiasing probe targets have been issued.
+func (d *Dealiaser) ProbesSent() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.probes
+}
+
+// PrefixesTested reports how many /96s went through the online test.
+func (d *Dealiaser) PrefixesTested() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tested
+}
+
+// Split separates addrs into clean (kept) and aliased (discarded)
+// according to the mode. Online testing batches all unknown /96s into one
+// scan.
+func (d *Dealiaser) Split(addrs []ipaddr.Addr) (clean, aliased []ipaddr.Addr) {
+	if d.mode == ModeNone || len(addrs) == 0 {
+		return addrs, nil
+	}
+
+	clean = make([]ipaddr.Addr, 0, len(addrs))
+	pending := addrs
+	if d.mode == ModeOffline || d.mode == ModeJoint {
+		pending = pending[:0:0]
+		for _, a := range addrs {
+			if d.offline != nil && d.offline.Contains(a) {
+				aliased = append(aliased, a)
+			} else {
+				pending = append(pending, a)
+			}
+		}
+		if d.mode == ModeOffline {
+			return append(clean, pending...), aliased
+		}
+	}
+
+	// Online: gather unknown /96s.
+	byPrefix := make(map[ipaddr.Prefix][]ipaddr.Addr)
+	for _, a := range pending {
+		p := ipaddr.PrefixFrom(a, AliasPrefixBits)
+		byPrefix[p] = append(byPrefix[p], a)
+	}
+	unknown := d.unknownPrefixes(byPrefix)
+	if len(unknown) > 0 {
+		d.testPrefixes(unknown)
+	}
+
+	d.mu.Lock()
+	for p, group := range byPrefix {
+		if d.verdict[p] {
+			aliased = append(aliased, group...)
+		} else {
+			clean = append(clean, group...)
+		}
+	}
+	d.mu.Unlock()
+	return clean, aliased
+}
+
+// IsAliased runs the configured test for a single address (probing its /96
+// if needed).
+func (d *Dealiaser) IsAliased(a ipaddr.Addr) bool {
+	_, aliased := d.Split([]ipaddr.Addr{a})
+	return len(aliased) == 1
+}
+
+func (d *Dealiaser) unknownPrefixes(byPrefix map[ipaddr.Prefix][]ipaddr.Addr) []ipaddr.Prefix {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var unknown []ipaddr.Prefix
+	for p := range byPrefix {
+		if _, ok := d.verdict[p]; !ok {
+			unknown = append(unknown, p)
+		}
+	}
+	// Deterministic probe generation order.
+	sort.Slice(unknown, func(i, j int) bool {
+		if unknown[i].Addr() != unknown[j].Addr() {
+			return unknown[i].Addr().Less(unknown[j].Addr())
+		}
+		return unknown[i].Bits() < unknown[j].Bits()
+	})
+	return unknown
+}
+
+// testPrefixes probes ProbesPerPrefix random addresses in each prefix and
+// records verdicts.
+func (d *Dealiaser) testPrefixes(prefixes []ipaddr.Prefix) {
+	targets := make([]ipaddr.Addr, 0, len(prefixes)*ProbesPerPrefix)
+	owner := make(map[ipaddr.Addr]ipaddr.Prefix, cap(targets))
+	for _, p := range prefixes {
+		for k := 0; k < ProbesPerPrefix; k++ {
+			// Deterministic "random" probe addresses within the /96.
+			h := mix64(d.rngSeed, p.Addr().Hi(), p.Addr().Lo(), uint64(k))
+			a := p.Overlay(ipaddr.AddrFrom64s(0, h))
+			if _, dup := owner[a]; dup {
+				continue
+			}
+			owner[a] = p
+			targets = append(targets, a)
+		}
+	}
+
+	activeCount := make(map[ipaddr.Prefix]int, len(prefixes))
+	if d.prober != nil {
+		for _, a := range d.prober.ScanActive(targets, d.proto) {
+			activeCount[owner[a]]++
+		}
+	}
+
+	d.mu.Lock()
+	d.probes += len(targets)
+	d.tested += len(prefixes)
+	for _, p := range prefixes {
+		d.verdict[p] = activeCount[p] >= AliasThreshold
+	}
+	d.mu.Unlock()
+}
+
+// mix64 is the deterministic fold used for probe address generation.
+func mix64(vals ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, v := range vals {
+		h = smix(h ^ v)
+	}
+	return h
+}
+
+func smix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}

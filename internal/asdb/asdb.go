@@ -1,0 +1,202 @@
+// Package asdb implements the autonomous-system registry used to compute
+// the paper's network-diversity metric ("active ASes"). It maps IPv6
+// prefixes to AS numbers with longest-prefix matching and records an
+// organization classification per AS, standing in for the PeeringDB /
+// manual labels the paper uses in Table 6.
+package asdb
+
+import (
+	"fmt"
+	"sort"
+
+	"seedscan/internal/ipaddr"
+)
+
+// OrgType classifies the organization behind an AS, mirroring the manual
+// classification of Table 6.
+type OrgType uint8
+
+const (
+	OrgISP OrgType = iota
+	OrgMobile
+	OrgCloudCDN
+	OrgHosting
+	OrgEducation
+	OrgGovernment
+	OrgEnterprise
+	OrgSatellite
+	OrgOther
+
+	orgCount
+)
+
+// String returns a human-readable label.
+func (o OrgType) String() string {
+	switch o {
+	case OrgISP:
+		return "ISP"
+	case OrgMobile:
+		return "Mobile"
+	case OrgCloudCDN:
+		return "Cloud/CDN"
+	case OrgHosting:
+		return "Hosting"
+	case OrgEducation:
+		return "Education"
+	case OrgGovernment:
+		return "Government"
+	case OrgEnterprise:
+		return "Enterprise"
+	case OrgSatellite:
+		return "Satellite"
+	case OrgOther:
+		return "Other"
+	}
+	return fmt.Sprintf("OrgType(%d)", uint8(o))
+}
+
+// AS describes a single autonomous system: its number, name, organization
+// type, and announced prefixes.
+type AS struct {
+	Number   int
+	Name     string
+	Type     OrgType
+	Prefixes []ipaddr.Prefix
+}
+
+// DB is the registry of ASes with prefix-based lookup. Construct with New;
+// a DB is safe for concurrent reads after registration completes.
+type DB struct {
+	trie  *ipaddr.Trie
+	byNum map[int]*AS
+}
+
+// New returns an empty registry.
+func New() *DB {
+	return &DB{trie: ipaddr.NewTrie(), byNum: make(map[int]*AS)}
+}
+
+// Register adds an AS and routes all its prefixes to it. Registering the
+// same AS number twice merges prefix lists.
+func (db *DB) Register(as *AS) {
+	if existing, ok := db.byNum[as.Number]; ok {
+		existing.Prefixes = append(existing.Prefixes, as.Prefixes...)
+		for _, p := range as.Prefixes {
+			db.trie.Insert(p, existing.Number)
+		}
+		return
+	}
+	cp := *as
+	db.byNum[as.Number] = &cp
+	for _, p := range cp.Prefixes {
+		db.trie.Insert(p, cp.Number)
+	}
+}
+
+// Announce adds one more prefix to an already-registered AS.
+func (db *DB) Announce(asn int, p ipaddr.Prefix) error {
+	as, ok := db.byNum[asn]
+	if !ok {
+		return fmt.Errorf("asdb: announce %v: AS%d not registered", p, asn)
+	}
+	as.Prefixes = append(as.Prefixes, p)
+	db.trie.Insert(p, asn)
+	return nil
+}
+
+// Lookup returns the AS number originating address a, using longest-prefix
+// matching, or (0, false) when a is unrouted.
+func (db *DB) Lookup(a ipaddr.Addr) (int, bool) {
+	v, ok := db.trie.Lookup(a)
+	if !ok {
+		return 0, false
+	}
+	return v.(int), true
+}
+
+// ASOf returns the full AS record originating a.
+func (db *DB) ASOf(a ipaddr.Addr) (*AS, bool) {
+	asn, ok := db.Lookup(a)
+	if !ok {
+		return nil, false
+	}
+	return db.byNum[asn], true
+}
+
+// Get returns the AS with the given number.
+func (db *DB) Get(asn int) (*AS, bool) {
+	as, ok := db.byNum[asn]
+	return as, ok
+}
+
+// Len returns the number of registered ASes.
+func (db *DB) Len() int { return len(db.byNum) }
+
+// All returns every registered AS sorted by AS number.
+func (db *DB) All() []*AS {
+	out := make([]*AS, 0, len(db.byNum))
+	for _, as := range db.byNum {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// CountASes returns the number of distinct ASes originating the addresses.
+// Unrouted addresses are ignored.
+func (db *DB) CountASes(addrs []ipaddr.Addr) int {
+	seen := make(map[int]struct{})
+	for _, a := range addrs {
+		if asn, ok := db.Lookup(a); ok {
+			seen[asn] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// ASSet returns the set of distinct AS numbers originating the addresses.
+func (db *DB) ASSet(addrs []ipaddr.Addr) map[int]struct{} {
+	seen := make(map[int]struct{})
+	for _, a := range addrs {
+		if asn, ok := db.Lookup(a); ok {
+			seen[asn] = struct{}{}
+		}
+	}
+	return seen
+}
+
+// TopASes tallies addrs by AS and returns the counts sorted descending,
+// breaking ties by AS number. Table 6's "top 3 ASes per dataset" uses this.
+func (db *DB) TopASes(addrs []ipaddr.Addr) []ASCount {
+	counts := make(map[int]int)
+	routed := 0
+	for _, a := range addrs {
+		if asn, ok := db.Lookup(a); ok {
+			counts[asn]++
+			routed++
+		}
+	}
+	out := make([]ASCount, 0, len(counts))
+	for asn, n := range counts {
+		as := db.byNum[asn]
+		share := 0.0
+		if routed > 0 {
+			share = float64(n) / float64(routed)
+		}
+		out = append(out, ASCount{AS: as, Count: n, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].AS.Number < out[j].AS.Number
+	})
+	return out
+}
+
+// ASCount is one row of a TopASes tally.
+type ASCount struct {
+	AS    *AS
+	Count int
+	Share float64 // fraction of routed addresses in this AS
+}

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"seedscan/internal/alias"
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/metrics"
+	"seedscan/internal/proto"
+	"seedscan/internal/seeds"
+)
+
+// DatasetSummaryRow is one row of Table 3.
+type DatasetSummaryRow struct {
+	Source     string
+	Category   string
+	Unique     int
+	ASes       int
+	Dealiased  int
+	Active     [proto.Count]int
+	ActiveAny  int
+	ActiveASes int
+}
+
+// DatasetSummary reproduces Table 3: per-source population, AS coverage,
+// dealiased volume, and per-protocol responsiveness, plus the aggregate
+// rows (All Domains / All Routers / All Hitlists / All Sources).
+type DatasetSummary struct {
+	Rows []DatasetSummaryRow
+}
+
+// DatasetSummary computes Table 3 for the environment.
+func (e *Env) DatasetSummary() *DatasetSummary {
+	dealiased := e.DealiasedSeeds(alias.ModeJoint)
+	allActive := e.AllActiveSeeds()
+	db := e.World.ASDB()
+
+	row := func(name, cat string, ds *seeds.Dataset) DatasetSummaryRow {
+		r := DatasetSummaryRow{Source: name, Category: cat}
+		r.Unique = ds.Len()
+		r.ASes = ds.ASCount(db)
+		r.Dealiased = ds.Intersect(seeds.FromSet("", dealiased.Addrs), "").Len()
+		for _, p := range proto.All {
+			r.Active[p] = ds.Restrict("", e.seedActive(p)).Len()
+		}
+		act := ds.Restrict("", allActive.Addrs)
+		r.ActiveAny = act.Len()
+		r.ActiveASes = act.ASCount(db)
+		return r
+	}
+
+	var out DatasetSummary
+	domains := seeds.NewDataset("All Domains")
+	routers := seeds.NewDataset("All Routers")
+	hitlists := seeds.NewDataset("All Hitlists")
+	for _, src := range seeds.AllSources {
+		ds := e.Sources[src]
+		out.Rows = append(out.Rows, row(src.String(), src.Category(), ds))
+		switch src.Category() {
+		case "D":
+			domains.Addrs.AddSet(ds.Addrs)
+		case "R":
+			routers.Addrs.AddSet(ds.Addrs)
+		default:
+			hitlists.Addrs.AddSet(ds.Addrs)
+		}
+	}
+	out.Rows = append(out.Rows,
+		row("All Domains", "D", domains),
+		row("All Routers", "R", routers),
+		row("All Hitlists", "Both", hitlists),
+		row("All Sources", "Both", e.Full),
+	)
+	return &out
+}
+
+// Render prints the summary in Table 3's layout.
+func (s *DatasetSummary) Render() string {
+	t := &Table{
+		Title: "Table 3: Full summary of all seed data sources",
+		Header: []string{"Source", "Pop.", "Unique", "ASes", "Dealiased",
+			"ICMP", "TCP80", "TCP443", "UDP53", "Active", "ActiveASes"},
+	}
+	for _, r := range s.Rows {
+		t.AddRow(r.Source, r.Category, fmtInt(r.Unique), fmtInt(r.ASes), fmtInt(r.Dealiased),
+			fmtInt(r.Active[proto.ICMP]), fmtInt(r.Active[proto.TCP80]),
+			fmtInt(r.Active[proto.TCP443]), fmtInt(r.Active[proto.UDP53]),
+			fmtInt(r.ActiveAny), fmtInt(r.ActiveASes))
+	}
+	return t.String()
+}
+
+// SourceOverlaps reproduces Figure 1 (responsive=false) and Figure 2
+// (responsive=true): pairwise overlap of the seed sources by IP and by AS.
+func (e *Env) SourceOverlaps(responsive bool) (ips, ases metrics.OverlapMatrix) {
+	names := make([]string, 0, len(seeds.AllSources))
+	ipSets := make(map[string]map[ipaddr.Addr]struct{})
+	asSets := make(map[string]map[int]struct{})
+	var filter *ipaddr.Set
+	if responsive {
+		filter = e.AllActiveSeeds().Addrs
+	}
+	db := e.World.ASDB()
+	for _, src := range seeds.AllSources {
+		ds := e.Sources[src]
+		if filter != nil {
+			ds = ds.Restrict("", filter)
+		}
+		names = append(names, src.String())
+		addrs := ds.Slice()
+		ipSets[src.String()] = metrics.AddrSet(addrs)
+		asSets[src.String()] = db.ASSet(addrs)
+	}
+	return metrics.Overlaps(names, ipSets), metrics.Overlaps(names, asSets)
+}
+
+// RenderOverlap prints an overlap matrix in Figure 1/2's layout.
+func RenderOverlap(title string, m metrics.OverlapMatrix) string {
+	t := &Table{Title: title, Header: append(append([]string{""}, m.Names...), "Overlap")}
+	for i, n := range m.Names {
+		cells := []string{n}
+		for j := range m.Names {
+			cells = append(cells, fmtPct(m.Frac[i][j]))
+		}
+		cells = append(cells, fmtPct(m.AnyOther[i]))
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// DomainVolumeRow is one row of Table 8 (the reproducible column: unique
+// IPv6 addresses contributed by each domain-derived source).
+type DomainVolumeRow struct {
+	Source string
+	Unique int
+}
+
+// DomainVolumes reproduces Table 8's unique-IP column for the domain
+// sources.
+func (e *Env) DomainVolumes() []DomainVolumeRow {
+	var out []DomainVolumeRow
+	for _, src := range seeds.AllSources {
+		if src.Category() != "D" {
+			continue
+		}
+		out = append(out, DomainVolumeRow{Source: src.String(), Unique: e.Sources[src].Len()})
+	}
+	return out
+}
+
+// RenderTable7 prints the paper's collection dates (Table 7) — facts of
+// the authors' campaign, documented rather than simulated.
+func RenderTable7() string {
+	t := &Table{
+		Title:  "Table 7: Date of dataset collection (paper's campaign)",
+		Header: []string{"Source", "Collected", "Description"},
+	}
+	for _, src := range seeds.AllSources {
+		m := seeds.Meta[src]
+		t.AddRow(src.String(), m.Collected, m.Description)
+	}
+	return t.String()
+}
+
+// RenderWithPaper prints Table 3 with paper-vs-measured ratio columns:
+// the fraction of each source that survives dealiasing and the fraction
+// responsive, side by side with the paper's. Shape comparisons live here;
+// absolute counts differ by the simulation's scale.
+func (s *DatasetSummary) RenderWithPaper() string {
+	t := &Table{
+		Title:  "Table 3 (shape comparison): dealiased%% and active%% vs. the paper",
+		Header: []string{"Source", "Unique", "Dealiased%", "Paper", "Active%", "Paper"},
+	}
+	pct := func(n, d int) string {
+		if d == 0 {
+			return "-"
+		}
+		return fmtPct(float64(n) / float64(d))
+	}
+	for _, src := range seeds.AllSources {
+		var row *DatasetSummaryRow
+		for i := range s.Rows {
+			if s.Rows[i].Source == src.String() {
+				row = &s.Rows[i]
+				break
+			}
+		}
+		if row == nil {
+			continue
+		}
+		m := seeds.Meta[src]
+		t.AddRow(row.Source, fmtInt(row.Unique),
+			pct(row.Dealiased, row.Unique), pct(m.PaperDealiased, m.PaperUnique),
+			pct(row.ActiveAny, row.Unique), pct(m.PaperActive, m.PaperUnique))
+	}
+	return t.String()
+}

@@ -1,0 +1,219 @@
+// Package experiment orchestrates the paper's research questions end to
+// end: it builds the world, collects and preprocesses seed datasets
+// (Table 2's treatments), drives the eight TGAs through the scanner with
+// two-tier output dealiasing, and renders every table and figure of the
+// evaluation section.
+package experiment
+
+import (
+	"math/rand"
+	"sort"
+
+	"seedscan/internal/alias"
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/metrics"
+	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
+	"seedscan/internal/seeds"
+	"seedscan/internal/tga"
+	"seedscan/internal/tga/all"
+	"seedscan/internal/world"
+)
+
+// EnvConfig sizes an experimental environment. Zero values get defaults.
+type EnvConfig struct {
+	// WorldSeed / NumASes / LossRate configure the simulated Internet.
+	WorldSeed uint64
+	NumASes   int
+	LossRate  float64
+	// CollectSeed / CollectScale configure seed collection.
+	CollectSeed  uint64
+	CollectScale float64
+	// Budget is the per-TGA generation budget (the paper's 50M, scaled;
+	// default 20000).
+	Budget int
+	// OfflineCoverage is the fraction of ground-truth aliased prefixes on
+	// the published offline list (default 0.6 — the list is incomplete,
+	// as the paper stresses).
+	OfflineCoverage float64
+	// ScanSecret keys probe cookies.
+	ScanSecret uint64
+}
+
+func (c *EnvConfig) fillDefaults() {
+	if c.WorldSeed == 0 {
+		c.WorldSeed = 42
+	}
+	if c.NumASes == 0 {
+		c.NumASes = 300
+	}
+	if c.LossRate == 0 {
+		c.LossRate = 0.01
+	}
+	if c.CollectSeed == 0 {
+		c.CollectSeed = 7
+	}
+	if c.CollectScale == 0 {
+		c.CollectScale = 1
+	}
+	if c.Budget == 0 {
+		c.Budget = 20000
+	}
+	if c.OfflineCoverage == 0 {
+		c.OfflineCoverage = 0.6
+	}
+	if c.ScanSecret == 0 {
+		c.ScanSecret = 0x5eed5ca9
+	}
+}
+
+// Env is a fully assembled experimental setup.
+type Env struct {
+	Cfg     EnvConfig
+	World   *world.World
+	Scanner *scanner.Scanner
+	Sources map[seeds.Source]*seeds.Dataset
+	Full    *seeds.Dataset
+	Offline *alias.OfflineList
+
+	// Lazily computed treatment caches.
+	dealiased   map[alias.Mode]*seeds.Dataset
+	activeByP   map[proto.Protocol]*ipaddr.Set // responsive joint-dealiased seeds per protocol
+	allActive   *seeds.Dataset
+	outDealiase map[proto.Protocol]*alias.Dealiaser
+}
+
+// NewEnv builds the world, collects all seed sources at the collection
+// epoch, derives the (incomplete) offline alias list, and switches the
+// world to the scan epoch.
+func NewEnv(cfg EnvConfig) *Env {
+	cfg.fillDefaults()
+	w := world.New(world.Config{Seed: cfg.WorldSeed, NumASes: cfg.NumASes, LossRate: cfg.LossRate})
+	w.SetEpoch(world.CollectEpoch)
+	srcs := seeds.CollectAll(w, seeds.CollectConfig{Seed: cfg.CollectSeed, Scale: cfg.CollectScale})
+	full := seeds.CombineAll(srcs)
+
+	// The published alias list covers only part of the truth; which part
+	// is a deterministic function of the world seed.
+	truth := w.AliasedPrefixes()
+	sort.Slice(truth, func(i, j int) bool { return truth[i].Addr().Less(truth[j].Addr()) })
+	rng := rand.New(rand.NewSource(int64(cfg.WorldSeed) + 0xa11a5))
+	rng.Shuffle(len(truth), func(i, j int) { truth[i], truth[j] = truth[j], truth[i] })
+	keep := int(float64(len(truth)) * cfg.OfflineCoverage)
+	listed := append([]ipaddr.Prefix(nil), truth[:keep]...)
+
+	w.SetEpoch(world.ScanEpoch)
+	return &Env{
+		Cfg:         cfg,
+		World:       w,
+		Scanner:     scanner.New(w.Link(), scanner.Config{Secret: cfg.ScanSecret}),
+		Sources:     srcs,
+		Full:        full,
+		Offline:     alias.NewOfflineList(listed),
+		dealiased:   make(map[alias.Mode]*seeds.Dataset),
+		activeByP:   make(map[proto.Protocol]*ipaddr.Set),
+		outDealiase: make(map[proto.Protocol]*alias.Dealiaser),
+	}
+}
+
+// OutputDealiaser returns the shared joint (offline+online) dealiaser used
+// to classify TGA output on protocol p, per §4.2.
+func (e *Env) OutputDealiaser(p proto.Protocol) *alias.Dealiaser {
+	d, ok := e.outDealiase[p]
+	if !ok {
+		d = alias.New(alias.ModeJoint, e.Offline, e.Scanner, p, e.Cfg.ScanSecret^uint64(p))
+		e.outDealiase[p] = d
+	}
+	return d
+}
+
+// DealiasedSeeds returns the full dataset under one of Table 2's
+// dealiasing treatments. Results are cached.
+func (e *Env) DealiasedSeeds(mode alias.Mode) *seeds.Dataset {
+	if ds, ok := e.dealiased[mode]; ok {
+		return ds
+	}
+	d := alias.New(mode, e.Offline, e.Scanner, proto.ICMP, e.Cfg.ScanSecret^0xa11a5)
+	clean, _ := d.Split(e.Full.Slice())
+	ds := seeds.FromAddrs("Full/"+mode.String(), clean)
+	e.dealiased[mode] = ds
+	return ds
+}
+
+// seedActive scans the joint-dealiased seeds on p and caches the
+// responsive subset.
+func (e *Env) seedActive(p proto.Protocol) *ipaddr.Set {
+	if s, ok := e.activeByP[p]; ok {
+		return s
+	}
+	base := e.DealiasedSeeds(alias.ModeJoint)
+	active := ipaddr.NewSet(e.Scanner.ScanActive(base.Slice(), p)...)
+	e.activeByP[p] = active
+	return active
+}
+
+// AllActiveSeeds returns RQ1.b's "All Active" dataset: joint-dealiased
+// seeds responsive on at least one studied protocol at scan time.
+func (e *Env) AllActiveSeeds() *seeds.Dataset {
+	if e.allActive != nil {
+		return e.allActive
+	}
+	u := ipaddr.NewSet()
+	for _, p := range proto.All {
+		u.AddSet(e.seedActive(p))
+	}
+	e.allActive = seeds.FromSet("All Active", u)
+	return e.allActive
+}
+
+// PortActiveSeeds returns RQ2's port-specific dataset: seeds responsive on
+// exactly the probed protocol.
+func (e *Env) PortActiveSeeds(p proto.Protocol) *seeds.Dataset {
+	return seeds.FromSet("Active/"+p.String(), e.seedActive(p).Clone())
+}
+
+// SourceActiveSeeds returns RQ3's per-source dataset: the source's
+// addresses that are in the All Active set.
+func (e *Env) SourceActiveSeeds(src seeds.Source) *seeds.Dataset {
+	return e.Sources[src].Restrict(src.String()+"/active", e.AllActiveSeeds().Addrs)
+}
+
+// TGAResult couples a run's raw output with its measured outcome.
+type TGAResult struct {
+	Run     *tga.RunResult
+	Outcome metrics.Outcome
+}
+
+// RunTGA generates budget addresses with the named TGA from seedSet,
+// scans them on p, dealiases the output with the shared joint dealiaser,
+// and measures hits/ASes/aliases. ICMP outcomes exclude the pathological
+// AS12322 analogue, as §4.1 prescribes.
+func (e *Env) RunTGA(name string, seedSet []ipaddr.Addr, p proto.Protocol, budget int) (TGAResult, error) {
+	if budget <= 0 {
+		budget = e.Cfg.Budget
+	}
+	g, err := all.New(name)
+	if err != nil {
+		return TGAResult{}, err
+	}
+	run, err := tga.Run(g, seedSet, tga.RunConfig{
+		Budget: budget,
+		// Small batches give online generators enough feedback rounds to
+		// adapt at scaled-down budgets (the paper's 50M-budget runs see
+		// thousands of rounds).
+		BatchSize:    1024,
+		Proto:        p,
+		Prober:       e.Scanner,
+		Dealiaser:    e.OutputDealiaser(p),
+		ExcludeSeeds: true,
+	})
+	if err != nil {
+		return TGAResult{}, err
+	}
+	exclude := 0
+	if p == proto.ICMP {
+		exclude = world.PathologicalASN
+	}
+	out := metrics.Measure(run.Hits, run.AliasedHits, e.World.ASDB(), exclude)
+	return TGAResult{Run: run, Outcome: out}, nil
+}

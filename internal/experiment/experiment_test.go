@@ -1,0 +1,304 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"seedscan/internal/alias"
+	"seedscan/internal/proto"
+	"seedscan/internal/seeds"
+)
+
+// testEnv is a compact environment shared by the integration tests. Budgets
+// are small; assertions check shape, not magnitude.
+func testEnv(t testing.TB) *Env {
+	t.Helper()
+	return NewEnv(EnvConfig{NumASes: 80, CollectScale: 0.25, Budget: 4000})
+}
+
+func TestEnvConstruction(t *testing.T) {
+	e := testEnv(t)
+	if e.Full.Len() < 20000 {
+		t.Fatalf("full dataset = %d", e.Full.Len())
+	}
+	if len(e.Sources) != len(seeds.AllSources) {
+		t.Fatalf("sources = %d", len(e.Sources))
+	}
+	if e.Offline.Len() == 0 {
+		t.Fatal("offline list empty")
+	}
+	// The offline list must be incomplete.
+	if e.Offline.Len() >= len(e.World.AliasedPrefixes()) {
+		t.Fatal("offline list should not cover all ground truth")
+	}
+}
+
+func TestDealiasingTreatmentsShrinkMonotonically(t *testing.T) {
+	e := testEnv(t)
+	full := e.Full.Len()
+	off := e.DealiasedSeeds(alias.ModeOffline).Len()
+	joint := e.DealiasedSeeds(alias.ModeJoint).Len()
+	if !(joint <= off && off < full) {
+		t.Fatalf("sizes: full=%d offline=%d joint=%d", full, off, joint)
+	}
+	// Joint must remove a substantial share: the collectors pour in
+	// aliases.
+	if float64(joint) > 0.9*float64(full) {
+		t.Fatalf("joint dealiasing removed too little: %d of %d", joint, full)
+	}
+}
+
+func TestActiveSubsets(t *testing.T) {
+	e := testEnv(t)
+	allActive := e.AllActiveSeeds()
+	joint := e.DealiasedSeeds(alias.ModeJoint)
+	if allActive.Len() == 0 || allActive.Len() >= joint.Len() {
+		t.Fatalf("allActive=%d joint=%d", allActive.Len(), joint.Len())
+	}
+	for _, p := range proto.All {
+		port := e.PortActiveSeeds(p)
+		if port.Len() == 0 {
+			t.Fatalf("%v active empty", p)
+		}
+		// Port-specific ⊆ All Active.
+		if port.Diff(allActive, "x").Len() != 0 {
+			t.Fatalf("%v active not a subset of All Active", p)
+		}
+	}
+	// ICMP dominates (the world is ping-friendlier than TCP).
+	if e.PortActiveSeeds(proto.ICMP).Len() < e.PortActiveSeeds(proto.UDP53).Len() {
+		t.Fatal("ICMP active should exceed UDP53 active")
+	}
+}
+
+func TestDatasetSummaryShape(t *testing.T) {
+	e := testEnv(t)
+	sum := e.DatasetSummary()
+	if len(sum.Rows) != len(seeds.AllSources)+4 {
+		t.Fatalf("rows = %d", len(sum.Rows))
+	}
+	byName := map[string]DatasetSummaryRow{}
+	for _, r := range sum.Rows {
+		byName[r.Source] = r
+		if r.ActiveAny > r.Dealiased || r.Dealiased > r.Unique {
+			t.Fatalf("%s: active %d > dealiased %d > unique %d invariant broken",
+				r.Source, r.ActiveAny, r.Dealiased, r.Unique)
+		}
+		if r.ActiveASes > r.ASes {
+			t.Fatalf("%s: activeASes %d > ASes %d", r.Source, r.ActiveASes, r.ASes)
+		}
+	}
+	// Traceroute sources cover nearly all ASes; AddrMiner is alias-heavy.
+	total := byName["All Sources"]
+	scamper := byName["Scamper"]
+	if float64(scamper.ASes) < 0.9*float64(total.ASes) {
+		t.Fatalf("Scamper AS coverage %d of %d too low", scamper.ASes, total.ASes)
+	}
+	am := byName["AddrMiner"]
+	if float64(am.Dealiased) > 0.5*float64(am.Unique) {
+		t.Fatalf("AddrMiner should be mostly aliased: %d of %d clean", am.Dealiased, am.Unique)
+	}
+	hl := byName["IPv6 Hitlist"]
+	if float64(hl.Dealiased) < 0.9*float64(hl.Unique) {
+		t.Fatalf("Hitlist should be mostly clean: %d of %d", hl.Dealiased, hl.Unique)
+	}
+	if !strings.Contains(sum.Render(), "Scamper") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestSourceOverlapsShape(t *testing.T) {
+	e := testEnv(t)
+	ips, ases := e.SourceOverlaps(false)
+	if len(ips.Names) != len(seeds.AllSources) || len(ases.Names) != len(ips.Names) {
+		t.Fatal("matrix dimensions wrong")
+	}
+	// Toplists overlap each other far more than with CAIDA DNS.
+	idx := map[string]int{}
+	for i, n := range ips.Names {
+		idx[n] = i
+	}
+	u, tr, ca := idx["Umbrella"], idx["Tranco"], idx["CAIDA DNS"]
+	if ips.Frac[u][tr] <= ips.Frac[u][ca] {
+		t.Fatalf("Umbrella overlaps Tranco %.2f vs CAIDA %.2f — toplists should cluster",
+			ips.Frac[u][tr], ips.Frac[u][ca])
+	}
+	// Responsive variant computes too.
+	rips, _ := e.SourceOverlaps(true)
+	if len(rips.Names) != len(ips.Names) {
+		t.Fatal("responsive matrix wrong")
+	}
+}
+
+func TestRQ1aShape(t *testing.T) {
+	e := testEnv(t)
+	gens := []string{"6Tree", "6Gen"}
+	res, err := e.RunRQ1a([]proto.Protocol{proto.ICMP}, gens, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Ratios[proto.ICMP]
+	if len(rows) != len(gens) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Dealiasing must slash generated aliases...
+		if r.Aliases > -0.5 {
+			t.Errorf("%s: aliases ratio %.2f, want deep negative", r.Generator, r.Aliases)
+		}
+		// ...and must not hurt hits.
+		if r.Hits < -0.2 {
+			t.Errorf("%s: hits ratio %.2f, dealiasing should help", r.Generator, r.Hits)
+		}
+	}
+	if !strings.Contains(res.Render(), "ICMP") {
+		t.Fatal("render empty")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	e := testEnv(t)
+	gens := []string{"6Tree", "6Gen"}
+	res, err := e.RunTable4(gens, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalRaw := 0
+	for _, g := range gens {
+		row := res.Aliases[g]
+		totalRaw += row[0]
+		// Aliases drop as dealiasing gets stricter: none >> joint.
+		if row[0] > 0 && row[3] > row[0]/5 {
+			t.Errorf("%s: joint %d vs none %d — joint must nearly eliminate aliases", g, row[3], row[0])
+		}
+	}
+	if totalRaw == 0 {
+		t.Error("no generator found aliases on raw seeds")
+	}
+	if !strings.Contains(res.Render(), "D_joint") {
+		t.Fatal("render wrong")
+	}
+}
+
+func TestRQ4GreedyOrdering(t *testing.T) {
+	e := testEnv(t)
+	gens := []string{"6Sense", "6Tree", "6Scan"}
+	res, err := e.RunRQ4([]proto.Protocol{proto.ICMP}, gens, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := res.HitOrder[proto.ICMP]
+	if len(hits) != len(gens) {
+		t.Fatalf("order entries = %d", len(hits))
+	}
+	// Greedy: marginal contributions must be non-increasing and totals
+	// non-decreasing.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].New > hits[i-1].New {
+			t.Fatalf("greedy violated: %+v", hits)
+		}
+		if hits[i].Total < hits[i-1].Total {
+			t.Fatal("cumulative total decreased")
+		}
+	}
+	if !strings.Contains(res.Render(), "cumulative") {
+		t.Fatal("render empty")
+	}
+}
+
+func TestRQ3AndDerivedTables(t *testing.T) {
+	e := testEnv(t)
+	gens := []string{"6Tree"}
+	srcs := []seeds.Source{seeds.SourceHitlist, seeds.SourceScamper}
+	rq3, err := e.RunRQ3([]proto.Protocol{proto.ICMP}, gens, srcs, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitlistHits := rq3.Outcome[seeds.SourceHitlist][proto.ICMP]["6Tree"].Hits
+	if hitlistHits == 0 {
+		t.Fatal("hitlist-seeded run found nothing")
+	}
+	t5, err := e.RunTable5(rq3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 1 {
+		t.Fatalf("table5 rows = %d", len(t5.Rows))
+	}
+	r := t5.Rows[0]
+	if r.BigHits == 0 || r.CombinedHits == 0 {
+		t.Fatalf("table5 zeros: %+v", r)
+	}
+	t6 := e.Table6(rq3, 3)
+	cell := t6.Cells[seeds.SourceHitlist][proto.ICMP]
+	if cell.Total == 0 || len(cell.Top) == 0 {
+		t.Fatalf("table6 cell empty: %+v", cell)
+	}
+	if cell.Top[0].Share <= 0 || cell.Top[0].Share > 1 {
+		t.Fatalf("share out of range: %v", cell.Top[0].Share)
+	}
+	if !strings.Contains(t6.Render(), "Total") || !strings.Contains(t5.Render(), "Generator") {
+		t.Fatal("renders wrong")
+	}
+	if !strings.Contains(rq3.RenderRaw(proto.ICMP), "6Tree") {
+		t.Fatal("raw render wrong")
+	}
+}
+
+func TestPriorWorkMatrix(t *testing.T) {
+	rows := PriorWorkMatrix()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Spot-check against Table 1.
+	if !rows[0].Applies["6Gen"] || rows[0].Applies["DET"] {
+		t.Fatal("'All' row wrong")
+	}
+	if !rows[3].Applies["6Sense"] || rows[3].Applies["DET"] {
+		t.Fatal("'Online Dealiasing' row wrong")
+	}
+	if !rows[6].Applies["6Scan"] {
+		t.Fatal("'Port Spec.' row wrong")
+	}
+	out := RenderPriorWork()
+	if !strings.Contains(out, "6Sense") || !strings.Contains(out, "Port Spec.") {
+		t.Fatal("render wrong")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	if got := fmtInt(1234567); got != "1,234,567" {
+		t.Fatalf("fmtInt = %q", got)
+	}
+	if got := fmtInt(-1234); got != "-1,234" {
+		t.Fatalf("fmtInt neg = %q", got)
+	}
+	if got := fmtInt(7); got != "7" {
+		t.Fatalf("fmtInt small = %q", got)
+	}
+	if got := fmtRatio(0.5); got != "+0.50" {
+		t.Fatalf("fmtRatio = %q", got)
+	}
+	if got := fmtPct(0.123); got != "12.3%" {
+		t.Fatalf("fmtPct = %q", got)
+	}
+	tb := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	s := tb.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "bb") {
+		t.Fatalf("table render: %q", s)
+	}
+}
+
+func TestDomainVolumes(t *testing.T) {
+	e := testEnv(t)
+	rows := e.DomainVolumes()
+	if len(rows) != 8 {
+		t.Fatalf("domain sources = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Unique == 0 {
+			t.Fatalf("%s empty", r.Source)
+		}
+	}
+}

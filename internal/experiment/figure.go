@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"seedscan/internal/metrics"
+	"seedscan/internal/proto"
+)
+
+// Figures 3-5 are grouped bar charts of Performance Ratios. RenderFigure
+// draws them as horizontal ASCII bars so the text output reads like the
+// paper's figures: zero in the middle, improvement to the right,
+// degradation to the left.
+
+// barWidth is the half-width of a ratio bar in characters.
+const barWidth = 24
+
+// barScale is the Performance Ratio magnitude that saturates a bar.
+const barScale = 4.0
+
+func ratioBar(v float64) string {
+	mag := math.Abs(v) / barScale
+	if mag > 1 {
+		mag = 1
+	}
+	n := int(math.Round(mag * barWidth))
+	left := strings.Repeat(" ", barWidth)
+	right := strings.Repeat(" ", barWidth)
+	if v < 0 {
+		left = strings.Repeat(" ", barWidth-n) + strings.Repeat("#", n)
+	} else if n > 0 {
+		right = strings.Repeat("#", n) + strings.Repeat(" ", barWidth-n)
+	}
+	return left + "|" + right
+}
+
+// RenderFigure draws the comparison's hits and ASes Performance Ratios as
+// bars per protocol, Figure 3/4/5-style.
+func (r *ComparisonResult) RenderFigure() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s vs. %s (Performance Ratio; bar full scale ±%.0f)\n",
+		r.Name, r.Changed, r.Original, barScale)
+	for _, p := range proto.All {
+		rows, ok := r.Ratios[p]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n[%s]%*s-%s 0 +%s\n", p, 10, "",
+			strings.Repeat(" ", barWidth-4), strings.Repeat(" ", barWidth-4))
+		for _, row := range rows {
+			fmt.Fprintf(&sb, "%-8s hits %s %+6.2f\n", row.Generator, ratioBar(row.Hits), row.Hits)
+			fmt.Fprintf(&sb, "%-8s ases %s %+6.2f\n", "", ratioBar(row.ASes), row.ASes)
+		}
+	}
+	return sb.String()
+}
+
+// RenderCumulativeFigure draws Figure 6's cumulative curves as text bars:
+// each generator's share of the combined total.
+func (r *RQ4Result) RenderCumulativeFigure(p proto.Protocol) string {
+	order, ok := r.HitOrder[p]
+	if !ok || len(order) == 0 {
+		return ""
+	}
+	total := order[len(order)-1].Total
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6 (%s): cumulative unique hits, combined total %s\n", p, fmtInt(total))
+	for _, c := range order {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(c.Total) / float64(total)
+		}
+		n := int(frac * 48)
+		fmt.Fprintf(&sb, "%-8s %s %5.1f%% (+%s)\n", c.Name,
+			strings.Repeat("#", n)+strings.Repeat(".", 48-n), 100*frac, fmtInt(c.New))
+	}
+	return sb.String()
+}
+
+// RatioSummary reduces a set of ratio rows to their mean — handy for
+// headlines ("dealiasing buys +1.7 PR on average").
+func RatioSummary(rows []metrics.RatioRow) (hits, ases, aliases float64) {
+	if len(rows) == 0 {
+		return 0, 0, 0
+	}
+	for _, r := range rows {
+		hits += r.Hits
+		ases += r.ASes
+		aliases += r.Aliases
+	}
+	n := float64(len(rows))
+	return hits / n, ases / n, aliases / n
+}

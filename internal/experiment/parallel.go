@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Experiment grids run many independent TGA runs; each run is
+// deterministic in isolation (its own generator, deterministic scanning
+// and dealiasing), so running them concurrently changes wall-clock time
+// and nothing else. Shared state (the scanner's atomic counters, the
+// output dealiaser's verdict cache) is concurrency-safe.
+//
+// Lazily cached seed treatments are NOT safe to build concurrently, so
+// every harness resolves its seed lists before fanning out.
+
+// Workers returns the experiment fan-out width.
+func (e *Env) Workers() int {
+	w := runtime.NumCPU() - 1
+	if w < 1 {
+		w = 1
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// runParallel executes fn(0..n-1) on up to `workers` goroutines and
+// returns the first error.
+func runParallel(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if err != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}

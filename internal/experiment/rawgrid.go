@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"seedscan/internal/alias"
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/metrics"
+	"seedscan/internal/proto"
+)
+
+// The appendix's Tables 9-12 are the full grid behind RQ1-RQ2: every
+// generator run on every dataset treatment, per protocol, reporting raw
+// hits and ASes. GridDatasets lists the treatments in the tables' row
+// order.
+var GridDatasets = []string{
+	"All",
+	"Offline Dealiased",
+	"Online Dealiased",
+	"Active-Inactive",
+	"All Active",
+	"ICMP",
+	"TCP80",
+	"TCP443",
+	"UDP53",
+}
+
+// gridSeeds resolves a treatment label to its seed list.
+func (e *Env) gridSeeds(label string) []ipaddr.Addr {
+	switch label {
+	case "All":
+		return e.Full.Slice()
+	case "Offline Dealiased":
+		return e.DealiasedSeeds(alias.ModeOffline).Slice()
+	case "Online Dealiased":
+		return e.DealiasedSeeds(alias.ModeOnline).Slice()
+	case "Active-Inactive":
+		// The paper's shorthand for the joint-dealiased dataset, which
+		// still mixes responsive and unresponsive seeds.
+		return e.DealiasedSeeds(alias.ModeJoint).Slice()
+	case "All Active":
+		return e.AllActiveSeeds().Slice()
+	case "ICMP":
+		return e.PortActiveSeeds(proto.ICMP).Slice()
+	case "TCP80":
+		return e.PortActiveSeeds(proto.TCP80).Slice()
+	case "TCP443":
+		return e.PortActiveSeeds(proto.TCP443).Slice()
+	case "UDP53":
+		return e.PortActiveSeeds(proto.UDP53).Slice()
+	}
+	return nil
+}
+
+// RawGrid holds Tables 9-12: Outcome[p][dataset][gen].
+type RawGrid struct {
+	Budget   int
+	Gens     []string
+	Datasets []string
+	Outcome  map[proto.Protocol]map[string]map[string]metrics.Outcome
+}
+
+// RunRawGrid reproduces Tables 9-12 for the given protocols and
+// generators, optionally restricting the dataset rows (nil = all nine).
+func (e *Env) RunRawGrid(protos []proto.Protocol, gens, datasets []string, budget int) (*RawGrid, error) {
+	if budget <= 0 {
+		budget = e.Cfg.Budget
+	}
+	if datasets == nil {
+		datasets = GridDatasets
+	}
+	grid := &RawGrid{
+		Budget: budget, Gens: gens, Datasets: datasets,
+		Outcome: make(map[proto.Protocol]map[string]map[string]metrics.Outcome),
+	}
+	type job struct {
+		p   proto.Protocol
+		ds  string
+		gen string
+		set []ipaddr.Addr
+	}
+	var jobs []job
+	for _, p := range protos {
+		grid.Outcome[p] = make(map[string]map[string]metrics.Outcome)
+		e.OutputDealiaser(p)
+		for _, ds := range datasets {
+			seedSet := e.gridSeeds(ds)
+			grid.Outcome[p][ds] = make(map[string]metrics.Outcome)
+			for _, g := range gens {
+				jobs = append(jobs, job{p: p, ds: ds, gen: g, set: seedSet})
+			}
+		}
+	}
+	outs := make([]metrics.Outcome, len(jobs))
+	err := runParallel(e.Workers(), len(jobs), func(i int) error {
+		r, err := e.RunTGA(jobs[i].gen, jobs[i].set, jobs[i].p, budget)
+		if err != nil {
+			return err
+		}
+		outs[i] = r.Outcome
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		grid.Outcome[j.p][j.ds][j.gen] = outs[i]
+	}
+	return grid, nil
+}
+
+// Render prints one protocol's grid in the layout of Tables 9-12: a Hits
+// block then an ASes block, datasets as rows and generators as columns.
+func (g *RawGrid) Render(p proto.Protocol) string {
+	hits := &Table{
+		Title:  "Raw Hits (" + p.String() + ") — Tables 9-12",
+		Header: append([]string{"Dataset"}, g.Gens...),
+	}
+	ases := &Table{
+		Title:  "Raw ASes (" + p.String() + ") — Tables 9-12",
+		Header: append([]string{"Dataset"}, g.Gens...),
+	}
+	for _, ds := range g.Datasets {
+		hr := []string{ds}
+		ar := []string{ds}
+		for _, gen := range g.Gens {
+			o := g.Outcome[p][ds][gen]
+			hr = append(hr, fmtInt(o.Hits))
+			ar = append(ar, fmtInt(o.ASes))
+		}
+		hits.AddRow(hr...)
+		ases.AddRow(ar...)
+	}
+	return hits.String() + "\n" + ases.String()
+}

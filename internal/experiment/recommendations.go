@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"seedscan/internal/metrics"
+	"seedscan/internal/proto"
+)
+
+// RQ5 (§10) distills the study into operational recommendations. This
+// harness re-derives each recommendation from a small set of live
+// measurements on the current environment, so the printed guidance always
+// carries the evidence that produced it.
+
+// Recommendation is one best-practice item with its supporting numbers.
+type Recommendation struct {
+	Title    string
+	Guidance string
+	Evidence string
+}
+
+// RunRecommendations evaluates the evidence behind each of the paper's
+// §10 recommendations on this environment, using the given generators and
+// budget for the measurement runs.
+func (e *Env) RunRecommendations(gens []string, budget int) ([]Recommendation, error) {
+	if budget <= 0 {
+		budget = e.Cfg.Budget
+	}
+	var out []Recommendation
+
+	// 1. Dealiasing.
+	rq1a, err := e.RunRQ1a([]proto.Protocol{proto.ICMP}, gens, budget)
+	if err != nil {
+		return nil, err
+	}
+	meanHits, meanAliases := meanRatios(rq1a.Ratios[proto.ICMP])
+	out = append(out, Recommendation{
+		Title: "Dealiasing",
+		Guidance: "Dealias seed datasets with BOTH the published offline list and " +
+			"the online /96 test before generation.",
+		Evidence: fmt.Sprintf("joint-dealiased seeds changed ICMP hits by %+.2f PR on average "+
+			"and cut generated aliases by %+.2f PR across %d generators", meanHits, meanAliases, len(gens)),
+	})
+
+	// 2. Unresponsive addresses.
+	rq1b, err := e.RunRQ1b([]proto.Protocol{proto.ICMP}, gens, budget)
+	if err != nil {
+		return nil, err
+	}
+	bHits, _ := meanRatios(rq1b.Ratios[proto.ICMP])
+	out = append(out, Recommendation{
+		Title:    "Unresponsive Addresses",
+		Guidance: "Pre-scan seeds and drop addresses that no longer respond on any protocol.",
+		Evidence: fmt.Sprintf("responsive-only seeds changed ICMP hits by %+.2f PR on average", bHits),
+	})
+
+	// 3. Port-specific seeds.
+	rq2, err := e.RunRQ2([]proto.Protocol{proto.TCP443}, gens, budget)
+	if err != nil {
+		return nil, err
+	}
+	pHits, pASes := meanRatiosHitsASes(rq2.Ratios[proto.TCP443])
+	out = append(out, Recommendation{
+		Title: "Port-Specific Seeds",
+		Guidance: "Restrict seeds to the scanned port for more application-layer hits, " +
+			"but blend ICMP-active seeds back in when network coverage matters.",
+		Evidence: fmt.Sprintf("TCP443-specific seeds: hits %+.2f PR but ASes %+.2f PR on average "+
+			"— the hits-vs-diversity tradeoff", pHits, pASes),
+	})
+
+	// 4. Multiple ports.
+	out = append(out, Recommendation{
+		Title:    "Ports",
+		Guidance: "Evaluate TGAs on multiple ports/protocols; per-port topology differs.",
+		Evidence: fmt.Sprintf("seed responsiveness in this environment: ICMP %d, TCP80 %d, TCP443 %d, UDP53 %d",
+			e.PortActiveSeeds(proto.ICMP).Len(), e.PortActiveSeeds(proto.TCP80).Len(),
+			e.PortActiveSeeds(proto.TCP443).Len(), e.PortActiveSeeds(proto.UDP53).Len()),
+	})
+
+	// 5-6. Generator choice and combination.
+	rq4, err := e.RunRQ4([]proto.Protocol{proto.ICMP}, gens, budget)
+	if err != nil {
+		return nil, err
+	}
+	hitOrder := rq4.HitOrder[proto.ICMP]
+	asOrder := rq4.ASOrder[proto.ICMP]
+	topShare := 0.0
+	if total := hitOrder[len(hitOrder)-1].Total; total > 0 {
+		topShare = float64(hitOrder[0].New) / float64(total)
+	}
+	out = append(out, Recommendation{
+		Title: "Generators",
+		Guidance: "No single TGA wins both metrics; pick per metric " +
+			"(hits vs network diversity) or run several.",
+		Evidence: fmt.Sprintf("best on hits: %s; best on ASes: %s", hitOrder[0].Name, asOrder[0].Name),
+	})
+	out = append(out, Recommendation{
+		Title:    "Combining Generators",
+		Guidance: "Run multiple TGAs and union their output for representative coverage.",
+		Evidence: fmt.Sprintf("the top generator alone covers %.0f%% of combined hits (%s of %s); "+
+			"each additional TGA adds unique addresses",
+			100*topShare, fmtInt(hitOrder[0].New), fmtInt(hitOrder[len(hitOrder)-1].Total)),
+	})
+	return out, nil
+}
+
+func meanRatios(rows []metrics.RatioRow) (hits, aliases float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	for _, r := range rows {
+		hits += r.Hits
+		aliases += r.Aliases
+	}
+	n := float64(len(rows))
+	return hits / n, aliases / n
+}
+
+func meanRatiosHitsASes(rows []metrics.RatioRow) (hits, ases float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	for _, r := range rows {
+		hits += r.Hits
+		ases += r.ASes
+	}
+	n := float64(len(rows))
+	return hits / n, ases / n
+}
+
+// RenderRecommendations prints §10's list with evidence.
+func RenderRecommendations(recs []Recommendation) string {
+	var sb strings.Builder
+	sb.WriteString("RQ5 (§10): Recommendations and best practices, with measured evidence\n")
+	sb.WriteString(strings.Repeat("-", 70))
+	sb.WriteByte('\n')
+	for i, r := range recs {
+		fmt.Fprintf(&sb, "%d. %s\n   %s\n   evidence: %s\n", i+1, r.Title, r.Guidance, r.Evidence)
+	}
+	return sb.String()
+}

@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"seedscan/internal/alias"
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/metrics"
+	"seedscan/internal/proto"
+)
+
+// ComparisonResult holds one "changed vs. original" experiment: the raw
+// outcomes per protocol and generator under both treatments, plus the
+// Performance Ratio rows that Figures 3-5 plot.
+type ComparisonResult struct {
+	Name     string
+	Original string
+	Changed  string
+	Budget   int
+	// Raw[p][gen] = [original, changed] outcomes.
+	Raw map[proto.Protocol]map[string][2]metrics.Outcome
+	// Ratios[p] lists a RatioRow per generator.
+	Ratios map[proto.Protocol][]metrics.RatioRow
+}
+
+// compare runs every generator on both seed treatments across protos and
+// computes Performance Ratio rows.
+func (e *Env) compare(name, origName, chgName string,
+	original, changed func(p proto.Protocol) []ipaddr.Addr,
+	protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
+
+	if budget <= 0 {
+		budget = e.Cfg.Budget
+	}
+	res := &ComparisonResult{
+		Name: name, Original: origName, Changed: chgName, Budget: budget,
+		Raw:    make(map[proto.Protocol]map[string][2]metrics.Outcome),
+		Ratios: make(map[proto.Protocol][]metrics.RatioRow),
+	}
+	for _, p := range protos {
+		res.Raw[p] = make(map[string][2]metrics.Outcome)
+		orig := original(p)
+		chg := changed(p)
+		e.OutputDealiaser(p) // materialize the shared dealiaser before fan-out
+		outcomes := make([][2]metrics.Outcome, len(gens))
+		err := runParallel(e.Workers(), len(gens), func(i int) error {
+			ro, err := e.RunTGA(gens[i], orig, p, budget)
+			if err != nil {
+				return err
+			}
+			rc, err := e.RunTGA(gens[i], chg, p, budget)
+			if err != nil {
+				return err
+			}
+			outcomes[i] = [2]metrics.Outcome{ro.Outcome, rc.Outcome}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, g := range gens {
+			ro, rc := outcomes[i][0], outcomes[i][1]
+			res.Raw[p][g] = outcomes[i]
+			res.Ratios[p] = append(res.Ratios[p], metrics.RatioRow{
+				Generator: g,
+				Hits:      metrics.PerformanceRatio(float64(rc.Hits), float64(ro.Hits)),
+				ASes:      metrics.PerformanceRatio(float64(rc.ASes), float64(ro.ASes)),
+				Aliases:   metrics.PerformanceRatio(float64(rc.Aliases), float64(ro.Aliases)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// RunRQ1a answers RQ1.a (Figure 3): how does dealiasing the seed dataset
+// change TGA hits, ASes, and generated aliases? Original = full collected
+// dataset; changed = joint (online+offline) dealiased dataset.
+func (e *Env) RunRQ1a(protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
+	return e.compare("RQ1.a / Figure 3", "Full", "Dealiased",
+		func(proto.Protocol) []ipaddr.Addr { return e.Full.Slice() },
+		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).Slice() },
+		protos, gens, budget)
+}
+
+// Table4Result holds Table 4: aliased addresses discovered by each TGA on
+// an ICMP run, under the four seed dealiasing treatments.
+type Table4Result struct {
+	Budget int
+	Gens   []string
+	// Aliases[gen][i] for i indexing alias.Modes (none, offline, online,
+	// joint).
+	Aliases map[string][4]int
+}
+
+// RunTable4 reproduces Table 4.
+func (e *Env) RunTable4(gens []string, budget int) (*Table4Result, error) {
+	if budget <= 0 {
+		budget = e.Cfg.Budget
+	}
+	res := &Table4Result{Budget: budget, Gens: gens, Aliases: make(map[string][4]int)}
+	// Materialize treatments and the dealiaser before fanning out.
+	seedSets := make([][]ipaddr.Addr, len(alias.Modes))
+	for i, mode := range alias.Modes {
+		seedSets[i] = e.DealiasedSeeds(mode).Slice()
+	}
+	e.OutputDealiaser(proto.ICMP)
+	rows := make([][4]int, len(gens))
+	err := runParallel(e.Workers(), len(gens), func(gi int) error {
+		for i := range alias.Modes {
+			r, err := e.RunTGA(gens[gi], seedSets[i], proto.ICMP, budget)
+			if err != nil {
+				return err
+			}
+			rows[gi][i] = r.Outcome.Aliases
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range gens {
+		res.Aliases[g] = rows[i]
+	}
+	return res, nil
+}
+
+// Render prints Table 4.
+func (r *Table4Result) Render() string {
+	t := &Table{
+		Title:  "Table 4: Aliased addresses discovered per seed-dealiasing treatment (ICMP)",
+		Header: []string{"Model", "D_All", "D_offline", "D_online", "D_joint"},
+	}
+	for _, g := range r.Gens {
+		row := r.Aliases[g]
+		t.AddRow(g, fmtInt(row[0]), fmtInt(row[1]), fmtInt(row[2]), fmtInt(row[3]))
+	}
+	return t.String()
+}
+
+// RunRQ1b answers RQ1.b (Figure 4): does restricting seeds to responsive
+// addresses help? Original = joint-dealiased dataset (active+inactive);
+// changed = All Active.
+func (e *Env) RunRQ1b(protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
+	return e.compare("RQ1.b / Figure 4", "Dealiased", "All Active",
+		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).Slice() },
+		func(proto.Protocol) []ipaddr.Addr { return e.AllActiveSeeds().Slice() },
+		protos, gens, budget)
+}
+
+// Render prints the comparison's ratio rows per protocol.
+func (r *ComparisonResult) Render() string {
+	out := ""
+	for _, p := range proto.All {
+		rows, ok := r.Ratios[p]
+		if !ok {
+			continue
+		}
+		t := &Table{
+			Title:  r.Name + " (" + p.String() + "): " + r.Changed + " vs. " + r.Original,
+			Header: []string{"Generator", "Hits PR", "ASes PR", "Aliases PR", "Hits(orig)", "Hits(chg)", "ASes(orig)", "ASes(chg)"},
+		}
+		for _, row := range rows {
+			raw := r.Raw[p][row.Generator]
+			t.AddRow(row.Generator, fmtRatio(row.Hits), fmtRatio(row.ASes), fmtRatio(row.Aliases),
+				fmtInt(raw[0].Hits), fmtInt(raw[1].Hits), fmtInt(raw[0].ASes), fmtInt(raw[1].ASes))
+		}
+		out += t.String() + "\n"
+	}
+	return out
+}

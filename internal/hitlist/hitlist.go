@@ -1,0 +1,148 @@
+// Package hitlist implements an IPv6 Hitlist service in the style of
+// Gasser et al.: it aggregates seed sources, deduplicates, filters known
+// aliases, verifies responsiveness per protocol, runs the online alias
+// test over the responsive remainder, and publishes three artifacts — the
+// responsive address list, the per-protocol breakdowns, and the aliased
+// prefix list.
+//
+// The paper both consumes the real service's outputs (seeds, offline
+// alias list) and criticizes their staleness (§6.2: 16% of the published
+// "responsive" list no longer answers). This package closes the loop:
+// seedscan can regenerate hitlist-style artifacts from any world, and the
+// staleness phenomenon reappears whenever the world's epoch advances
+// between builds.
+package hitlist
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"seedscan/internal/alias"
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/seeds"
+)
+
+// Prober is the scanning dependency (satisfied by *scanner.Scanner).
+type Prober interface {
+	ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr
+}
+
+// Config assembles a Service.
+type Config struct {
+	// Prober verifies responsiveness and powers the online alias test.
+	Prober Prober
+	// KnownAliases seeds the alias filter (may be nil).
+	KnownAliases *alias.OfflineList
+	// Seed keys the online dealiaser's probe generation.
+	Seed uint64
+}
+
+// Snapshot is one published hitlist build.
+type Snapshot struct {
+	// BuiltAt records the build time (informational).
+	BuiltAt time.Time
+	// Input is the number of unique input addresses.
+	Input int
+	// Responsive lists addresses answering on at least one protocol,
+	// dealiased.
+	Responsive *ipaddr.Set
+	// PerProtocol breaks the responsive set down by protocol.
+	PerProtocol [proto.Count]*ipaddr.Set
+	// AliasedPrefixes is the /96 (or coarser, from the known list) alias
+	// set discovered during the build — the publishable offline list.
+	AliasedPrefixes []ipaddr.Prefix
+	// AliasedAddrs counts input addresses discarded as aliased.
+	AliasedAddrs int
+}
+
+// Service builds hitlist snapshots.
+type Service struct {
+	cfg Config
+}
+
+// New returns a Service. Prober must be non-nil.
+func New(cfg Config) (*Service, error) {
+	if cfg.Prober == nil {
+		return nil, fmt.Errorf("hitlist: prober required")
+	}
+	return &Service{cfg: cfg}, nil
+}
+
+// Build runs the full pipeline over the given source datasets.
+func (s *Service) Build(sources ...*seeds.Dataset) (*Snapshot, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("hitlist: no input sources")
+	}
+	// 1. Aggregate and deduplicate.
+	input := ipaddr.NewSet()
+	for _, src := range sources {
+		input.AddSet(src.Addrs)
+	}
+
+	// 2. Two-tier dealiasing over the whole input.
+	d := alias.New(alias.ModeJoint, s.cfg.KnownAliases, s.cfg.Prober, proto.ICMP, s.cfg.Seed)
+	clean, aliased := d.Split(input.Slice())
+
+	snap := &Snapshot{
+		BuiltAt:      time.Now(),
+		Input:        input.Len(),
+		Responsive:   ipaddr.NewSet(),
+		AliasedAddrs: len(aliased),
+	}
+
+	// 3. Verify responsiveness per protocol.
+	for _, p := range proto.All {
+		active := s.cfg.Prober.ScanActive(append([]ipaddr.Addr(nil), clean...), p)
+		set := ipaddr.NewSet(active...)
+		snap.PerProtocol[p] = set
+		snap.Responsive.AddSet(set)
+	}
+
+	// 4. Publish the aliased prefixes: every /96 the online test flagged
+	// plus the known list's contribution, deduplicated and sorted.
+	prefixSet := make(map[ipaddr.Prefix]struct{})
+	for _, a := range aliased {
+		prefixSet[ipaddr.PrefixFrom(a, alias.AliasPrefixBits)] = struct{}{}
+	}
+	snap.AliasedPrefixes = make([]ipaddr.Prefix, 0, len(prefixSet))
+	for p := range prefixSet {
+		snap.AliasedPrefixes = append(snap.AliasedPrefixes, p)
+	}
+	sort.Slice(snap.AliasedPrefixes, func(i, j int) bool {
+		a, b := snap.AliasedPrefixes[i], snap.AliasedPrefixes[j]
+		if a.Addr() != b.Addr() {
+			return a.Addr().Less(b.Addr())
+		}
+		return a.Bits() < b.Bits()
+	})
+	return snap, nil
+}
+
+// ResponsiveDataset exports the responsive list as a named dataset (for
+// file output or as TGA seeds).
+func (s *Snapshot) ResponsiveDataset() *seeds.Dataset {
+	return seeds.FromSet("hitlist-responsive", s.Responsive)
+}
+
+// ResponsiveFraction reports what share of the (dealiased) input was
+// responsive — the freshness figure §6.2 puts at 84% for the real
+// service.
+func (s *Snapshot) ResponsiveFraction() float64 {
+	clean := s.Input - s.AliasedAddrs
+	if clean <= 0 {
+		return 0
+	}
+	return float64(s.Responsive.Len()) / float64(clean)
+}
+
+// Summary renders a one-build report.
+func (s *Snapshot) Summary() string {
+	out := fmt.Sprintf("hitlist build: %d input, %d aliased discarded (%d prefixes), %d responsive (%.1f%% of clean)\n",
+		s.Input, s.AliasedAddrs, len(s.AliasedPrefixes), s.Responsive.Len(), 100*s.ResponsiveFraction())
+	for _, p := range proto.All {
+		out += fmt.Sprintf("  %-7s %d\n", p, s.PerProtocol[p].Len())
+	}
+	return out
+}

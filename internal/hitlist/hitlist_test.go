@@ -1,0 +1,145 @@
+package hitlist
+
+import (
+	"strings"
+	"testing"
+
+	"seedscan/internal/alias"
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
+	"seedscan/internal/seeds"
+	"seedscan/internal/world"
+)
+
+func buildEnv(t testing.TB) (*world.World, *scanner.Scanner, map[seeds.Source]*seeds.Dataset) {
+	t.Helper()
+	w := world.New(world.Config{Seed: 42, NumASes: 60, LossRate: 0})
+	w.SetEpoch(world.CollectEpoch)
+	srcs := seeds.CollectAll(w, seeds.CollectConfig{Seed: 7, Scale: 0.2})
+	w.SetEpoch(world.ScanEpoch)
+	return w, scanner.New(w.Link(), scanner.Config{Secret: 3}), srcs
+}
+
+func TestNewRequiresProber(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil prober accepted")
+	}
+}
+
+func TestBuildRequiresSources(t *testing.T) {
+	_, sc, _ := buildEnv(t)
+	svc, err := New(Config{Prober: sc, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Build(); err == nil {
+		t.Fatal("empty build accepted")
+	}
+}
+
+func TestBuildPipeline(t *testing.T) {
+	w, sc, srcs := buildEnv(t)
+	svc, err := New(Config{Prober: sc, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := svc.Build(srcs[seeds.SourceHitlist], srcs[seeds.SourceAddrMiner], srcs[seeds.SourceScamper])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Input == 0 || snap.Responsive.Len() == 0 {
+		t.Fatalf("empty snapshot: %+v", snap)
+	}
+	// AddrMiner pollution guarantees aliased discards.
+	if snap.AliasedAddrs == 0 || len(snap.AliasedPrefixes) == 0 {
+		t.Fatal("no aliases filtered")
+	}
+	// Published prefixes must cover genuinely aliased space.
+	for _, p := range snap.AliasedPrefixes[:min(5, len(snap.AliasedPrefixes))] {
+		if !w.IsAliased(p.Addr().AddLo(12345)) {
+			t.Fatalf("published prefix %v is not aliased ground truth", p)
+		}
+	}
+	// Responsive addresses answer on at least one protocol.
+	checked := 0
+	snap.Responsive.Each(func(a ipaddr.Addr) {
+		if checked >= 100 {
+			return
+		}
+		checked++
+		if !w.ActiveOnAny(a, world.ScanEpoch) {
+			t.Errorf("published %v not actually responsive", a)
+		}
+	})
+	// Per-protocol subsets stay within the responsive set.
+	for _, p := range proto.All {
+		if snap.PerProtocol[p].Diff(snap.Responsive).Len() != 0 {
+			t.Fatalf("%v subset escapes responsive set", p)
+		}
+	}
+	if f := snap.ResponsiveFraction(); f <= 0 || f > 1 {
+		t.Fatalf("responsive fraction = %v", f)
+	}
+	if !strings.Contains(snap.Summary(), "hitlist build") {
+		t.Fatal("summary wrong")
+	}
+}
+
+func TestKnownAliasesSaveProbes(t *testing.T) {
+	w, sc, srcs := buildEnv(t)
+	known := alias.NewOfflineList(w.AliasedPrefixes())
+
+	build := func(list *alias.OfflineList) int64 {
+		before := sc.Stats().PacketsSent.Load()
+		svc, err := New(Config{Prober: sc, KnownAliases: list, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Build(srcs[seeds.SourceAddrMiner]); err != nil {
+			t.Fatal(err)
+		}
+		return sc.Stats().PacketsSent.Load() - before
+	}
+	withList := build(known)
+	withoutList := build(nil)
+	if withList >= withoutList {
+		t.Fatalf("known aliases did not save probes: %d vs %d", withList, withoutList)
+	}
+}
+
+func TestStalenessAcrossEpochs(t *testing.T) {
+	// Build at the collection epoch, then advance the clock: churn makes
+	// part of the published list stale — §6.2's 16% phenomenon.
+	w, sc, srcs := buildEnv(t)
+	w.SetEpoch(world.CollectEpoch)
+	svc, err := New(Config{Prober: sc, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := svc.Build(srcs[seeds.SourceHitlist], srcs[seeds.SourceRIPEAtlas])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetEpoch(world.ScanEpoch)
+	stale := 0
+	snap.Responsive.Each(func(a ipaddr.Addr) {
+		if !w.ActiveOnAny(a, world.ScanEpoch) {
+			stale++
+		}
+	})
+	frac := float64(stale) / float64(snap.Responsive.Len())
+	if frac <= 0 {
+		t.Fatal("no staleness across epochs")
+	}
+	if frac > 0.5 {
+		t.Fatalf("staleness %.2f implausibly high", frac)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

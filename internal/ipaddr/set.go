@@ -1,0 +1,148 @@
+package ipaddr
+
+import "sort"
+
+// Set is an unordered collection of unique addresses. The zero value is not
+// usable; construct with NewSet or make via NewSetCap.
+type Set struct {
+	m map[Addr]struct{}
+}
+
+// NewSet returns an empty set, optionally pre-populated with addrs.
+func NewSet(addrs ...Addr) *Set {
+	s := &Set{m: make(map[Addr]struct{}, len(addrs))}
+	for _, a := range addrs {
+		s.m[a] = struct{}{}
+	}
+	return s
+}
+
+// NewSetCap returns an empty set with capacity hint n.
+func NewSetCap(n int) *Set { return &Set{m: make(map[Addr]struct{}, n)} }
+
+// Add inserts a, reporting whether it was newly added.
+func (s *Set) Add(a Addr) bool {
+	if _, ok := s.m[a]; ok {
+		return false
+	}
+	s.m[a] = struct{}{}
+	return true
+}
+
+// AddAll inserts every address in addrs.
+func (s *Set) AddAll(addrs []Addr) {
+	for _, a := range addrs {
+		s.m[a] = struct{}{}
+	}
+}
+
+// AddSet inserts every address in o.
+func (s *Set) AddSet(o *Set) {
+	for a := range o.m {
+		s.m[a] = struct{}{}
+	}
+}
+
+// Remove deletes a if present.
+func (s *Set) Remove(a Addr) { delete(s.m, a) }
+
+// Contains reports membership.
+func (s *Set) Contains(a Addr) bool {
+	_, ok := s.m[a]
+	return ok
+}
+
+// Len returns the number of addresses.
+func (s *Set) Len() int { return len(s.m) }
+
+// Each calls fn for every address in unspecified order.
+func (s *Set) Each(fn func(Addr)) {
+	for a := range s.m {
+		fn(a)
+	}
+}
+
+// Slice returns the addresses in unspecified order.
+func (s *Set) Slice() []Addr {
+	out := make([]Addr, 0, len(s.m))
+	for a := range s.m {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Sorted returns the addresses in ascending numeric order.
+func (s *Set) Sorted() []Addr {
+	out := s.Slice()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := NewSetCap(len(s.m))
+	for a := range s.m {
+		c.m[a] = struct{}{}
+	}
+	return c
+}
+
+// Intersect returns a new set containing addresses present in both s and o.
+func (s *Set) Intersect(o *Set) *Set {
+	small, big := s, o
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	out := NewSetCap(small.Len())
+	for a := range small.m {
+		if big.Contains(a) {
+			out.m[a] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Union returns a new set containing addresses present in either set.
+func (s *Set) Union(o *Set) *Set {
+	out := NewSetCap(s.Len() + o.Len())
+	out.AddSet(s)
+	out.AddSet(o)
+	return out
+}
+
+// Diff returns a new set with the addresses of s that are not in o.
+func (s *Set) Diff(o *Set) *Set {
+	out := NewSetCap(s.Len())
+	for a := range s.m {
+		if !o.Contains(a) {
+			out.m[a] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Filter returns a new set with the addresses of s for which keep returns
+// true.
+func (s *Set) Filter(keep func(Addr) bool) *Set {
+	out := NewSetCap(s.Len())
+	for a := range s.m {
+		if keep(a) {
+			out.m[a] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Dedup returns the unique addresses of addrs, preserving first-seen order.
+func Dedup(addrs []Addr) []Addr {
+	seen := make(map[Addr]struct{}, len(addrs))
+	out := addrs[:0:0]
+	for _, a := range addrs {
+		if _, ok := seen[a]; ok {
+			continue
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package ipaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func addrsFrom(ss ...string) []Addr {
+	out := make([]Addr, len(ss))
+	for i, s := range ss {
+		out[i] = MustParse(s)
+	}
+	return out
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	a := MustParse("2001:db8::1")
+	if !s.Add(a) {
+		t.Fatal("first Add should report new")
+	}
+	if s.Add(a) {
+		t.Fatal("second Add should report existing")
+	}
+	if !s.Contains(a) || s.Len() != 1 {
+		t.Fatal("Contains/Len wrong")
+	}
+	s.Remove(a)
+	if s.Contains(a) || s.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := NewSet(addrsFrom("::1", "::2", "::3")...)
+	b := NewSet(addrsFrom("::2", "::3", "::4")...)
+
+	if got := a.Intersect(b).Len(); got != 2 {
+		t.Errorf("Intersect len = %d", got)
+	}
+	if got := a.Union(b).Len(); got != 4 {
+		t.Errorf("Union len = %d", got)
+	}
+	if got := a.Diff(b).Len(); got != 1 || !a.Diff(b).Contains(MustParse("::1")) {
+		t.Errorf("Diff wrong: len=%d", got)
+	}
+	if got := b.Diff(a).Len(); got != 1 || !b.Diff(a).Contains(MustParse("::4")) {
+		t.Errorf("reverse Diff wrong: len=%d", got)
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	a := NewSet(addrsFrom("::1")...)
+	c := a.Clone()
+	c.Add(MustParse("::2"))
+	if a.Len() != 1 || c.Len() != 2 {
+		t.Fatal("Clone not independent")
+	}
+}
+
+func TestSetSortedOrder(t *testing.T) {
+	s := NewSet(addrsFrom("::3", "::1", "::2")...)
+	got := s.Sorted()
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Less(got[i]) {
+			t.Fatalf("Sorted out of order at %d", i)
+		}
+	}
+}
+
+func TestSetFilter(t *testing.T) {
+	s := NewSet(addrsFrom("::1", "::2", "::3", "::4")...)
+	even := s.Filter(func(a Addr) bool { return a.Lo()%2 == 0 })
+	if even.Len() != 2 {
+		t.Fatalf("Filter len = %d", even.Len())
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	mk := func(xs []uint16) *Set {
+		s := NewSet()
+		for _, x := range xs {
+			s.Add(AddrFrom64s(0, uint64(x)%64)) // small domain forces overlap
+		}
+		return s
+	}
+	inclusionExclusion := func(xs, ys []uint16) bool {
+		a, b := mk(xs), mk(ys)
+		return a.Union(b).Len() == a.Len()+b.Len()-a.Intersect(b).Len()
+	}
+	if err := quick.Check(inclusionExclusion, nil); err != nil {
+		t.Fatal(err)
+	}
+	diffDisjoint := func(xs, ys []uint16) bool {
+		a, b := mk(xs), mk(ys)
+		return a.Diff(b).Intersect(b).Len() == 0
+	}
+	if err := quick.Check(diffDisjoint, nil); err != nil {
+		t.Fatal(err)
+	}
+	partition := func(xs, ys []uint16) bool {
+		a, b := mk(xs), mk(ys)
+		return a.Diff(b).Len()+a.Intersect(b).Len() == a.Len()
+	}
+	if err := quick.Check(partition, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	in := addrsFrom("::1", "::2", "::1", "::3", "::2")
+	got := Dedup(in)
+	want := addrsFrom("::1", "::2", "::3")
+	if len(got) != len(want) {
+		t.Fatalf("Dedup len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dedup order wrong at %d: %v", i, got[i])
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package ipaddr
+
+// Trie is a binary radix trie keyed by IPv6 prefixes. It supports exact
+// insertion, longest-prefix match, and containment tests. Values are
+// generic-free (any); callers assert their own types. The zero value is an
+// empty trie ready to use... once wrapped by NewTrie (the root node must be
+// allocated).
+type Trie struct {
+	root *trieNode
+	size int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	// set marks a node that terminates an inserted prefix.
+	set bool
+	val any
+}
+
+// NewTrie returns an empty prefix trie.
+func NewTrie() *Trie { return &Trie{root: &trieNode{}} }
+
+// Len returns the number of prefixes stored.
+func (t *Trie) Len() int { return t.size }
+
+// Insert stores val at prefix p, replacing any existing value.
+func (t *Trie) Insert(p Prefix, val any) {
+	n := t.root
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		b := a.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.set = true
+	n.val = val
+}
+
+// Lookup returns the value of the longest stored prefix containing a, or
+// (nil, false) when no stored prefix contains a.
+func (t *Trie) Lookup(a Addr) (any, bool) {
+	var best any
+	found := false
+	n := t.root
+	if n.set {
+		best, found = n.val, true
+	}
+	for i := 0; i < 128 && n != nil; i++ {
+		n = n.child[a.Bit(i)]
+		if n != nil && n.set {
+			best, found = n.val, true
+		}
+	}
+	return best, found
+}
+
+// LookupPrefix returns the longest stored prefix containing a along with its
+// value.
+func (t *Trie) LookupPrefix(a Addr) (Prefix, any, bool) {
+	var (
+		bestVal  any
+		bestBits = -1
+	)
+	n := t.root
+	if n.set {
+		bestVal, bestBits = n.val, 0
+	}
+	for i := 0; i < 128 && n != nil; i++ {
+		n = n.child[a.Bit(i)]
+		if n != nil && n.set {
+			bestVal, bestBits = n.val, i+1
+		}
+	}
+	if bestBits < 0 {
+		return Prefix{}, nil, false
+	}
+	return PrefixFrom(a, bestBits), bestVal, true
+}
+
+// Contains reports whether any stored prefix contains a.
+func (t *Trie) Contains(a Addr) bool {
+	_, ok := t.Lookup(a)
+	return ok
+}
+
+// ContainsExact reports whether prefix p itself was inserted.
+func (t *Trie) ContainsExact(p Prefix) bool {
+	n := t.root
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[a.Bit(i)]
+		if n == nil {
+			return false
+		}
+	}
+	return n.set
+}
+
+// Walk visits every stored prefix/value pair in lexical order. Returning
+// false from fn stops the walk.
+func (t *Trie) Walk(fn func(Prefix, any) bool) {
+	t.walk(t.root, Addr{}, 0, fn)
+}
+
+func (t *Trie) walk(n *trieNode, a Addr, depth int, fn func(Prefix, any) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set {
+		if !fn(PrefixFrom(a, depth), n.val) {
+			return false
+		}
+	}
+	if depth == 128 {
+		return true
+	}
+	if !t.walk(n.child[0], a, depth+1, fn) {
+		return false
+	}
+	return t.walk(n.child[1], a.WithBit(depth, 1), depth+1, fn)
+}

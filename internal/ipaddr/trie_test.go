@@ -1,0 +1,157 @@
+package ipaddr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrieLookupLongest(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert(MustParsePrefix("2001:db8::/32"), "short")
+	tr.Insert(MustParsePrefix("2001:db8:1::/48"), "long")
+
+	v, ok := tr.Lookup(MustParse("2001:db8:1::5"))
+	if !ok || v != "long" {
+		t.Fatalf("Lookup = %v, %v", v, ok)
+	}
+	v, ok = tr.Lookup(MustParse("2001:db8:2::5"))
+	if !ok || v != "short" {
+		t.Fatalf("Lookup = %v, %v", v, ok)
+	}
+	if _, ok := tr.Lookup(MustParse("2600::1")); ok {
+		t.Fatal("unexpected match")
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert(MustParsePrefix("::/0"), "default")
+	v, ok := tr.Lookup(MustParse("abcd::1"))
+	if !ok || v != "default" {
+		t.Fatalf("default route lookup = %v, %v", v, ok)
+	}
+}
+
+func TestTrieLookupPrefix(t *testing.T) {
+	tr := NewTrie()
+	p48 := MustParsePrefix("2001:db8:1::/48")
+	tr.Insert(MustParsePrefix("2001:db8::/32"), 32)
+	tr.Insert(p48, 48)
+	got, v, ok := tr.LookupPrefix(MustParse("2001:db8:1::1"))
+	if !ok || v != 48 || got != p48 {
+		t.Fatalf("LookupPrefix = %v, %v, %v", got, v, ok)
+	}
+}
+
+func TestTrieReplaceAndLen(t *testing.T) {
+	tr := NewTrie()
+	p := MustParsePrefix("2001:db8::/32")
+	tr.Insert(p, 1)
+	tr.Insert(p, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, _ := tr.Lookup(MustParse("2001:db8::1"))
+	if v != 2 {
+		t.Fatalf("value not replaced: %v", v)
+	}
+}
+
+func TestTrieContainsExact(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert(MustParsePrefix("2001:db8::/32"), nil)
+	if !tr.ContainsExact(MustParsePrefix("2001:db8::/32")) {
+		t.Fatal("exact prefix missing")
+	}
+	if tr.ContainsExact(MustParsePrefix("2001:db8::/33")) {
+		t.Fatal("sub-prefix should not be exact")
+	}
+	if tr.ContainsExact(MustParsePrefix("2001:db8::/31")) {
+		t.Fatal("super-prefix should not be exact")
+	}
+}
+
+func TestTrieWalkOrderAndCompleteness(t *testing.T) {
+	tr := NewTrie()
+	prefixes := []string{"::/0", "2001:db8::/32", "2001:db8:1::/48", "fe80::/10"}
+	for _, s := range prefixes {
+		tr.Insert(MustParsePrefix(s), s)
+	}
+	var seen []string
+	tr.Walk(func(p Prefix, v any) bool {
+		seen = append(seen, v.(string))
+		return true
+	})
+	if len(seen) != len(prefixes) {
+		t.Fatalf("walk visited %d, want %d", len(seen), len(prefixes))
+	}
+	// ::/0 must come first (shortest at root).
+	if seen[0] != "::/0" {
+		t.Fatalf("walk order: first = %s", seen[0])
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert(MustParsePrefix("2001:db8::/32"), 1)
+	tr.Insert(MustParsePrefix("2600::/16"), 2)
+	n := 0
+	tr.Walk(func(Prefix, any) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("walk did not stop early: %d", n)
+	}
+}
+
+func TestTrieRandomizedAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := NewTrie()
+	var prefixes []Prefix
+	for i := 0; i < 200; i++ {
+		bits := 8 + rng.Intn(113)
+		p := PrefixFrom(AddrFrom64s(rng.Uint64(), rng.Uint64()), bits)
+		tr.Insert(p, p.String())
+		prefixes = append(prefixes, p)
+	}
+	for i := 0; i < 500; i++ {
+		var a Addr
+		if rng.Intn(2) == 0 {
+			// Random point inside a random stored prefix.
+			a = prefixes[rng.Intn(len(prefixes))].RandomWithin(rng)
+		} else {
+			a = AddrFrom64s(rng.Uint64(), rng.Uint64())
+		}
+		// Linear reference: longest containing prefix.
+		best, bestBits := "", -1
+		for _, p := range prefixes {
+			if p.Contains(a) && p.Bits() > bestBits {
+				best, bestBits = p.String(), p.Bits()
+			}
+		}
+		v, ok := tr.Lookup(a)
+		if bestBits < 0 {
+			if ok {
+				t.Fatalf("addr %v: trie matched %v, linear matched nothing", a, v)
+			}
+			continue
+		}
+		if !ok || v.(string) != best {
+			t.Fatalf("addr %v: trie = %v (%v), linear = %v", a, v, ok, best)
+		}
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewTrie()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(PrefixFrom(AddrFrom64s(rng.Uint64(), rng.Uint64()), 32+rng.Intn(33)), i)
+	}
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = AddrFrom64s(rng.Uint64(), rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i&1023])
+	}
+}

@@ -1,0 +1,34 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"seedscan/internal/metrics"
+)
+
+func ExamplePerformanceRatio() {
+	// §4.1: 0 = unchanged, +1 = doubled, -1 = gone.
+	fmt.Println(metrics.PerformanceRatio(200, 100))
+	fmt.Println(metrics.PerformanceRatio(100, 100))
+	fmt.Println(metrics.PerformanceRatio(50, 100))
+	// Output:
+	// 1
+	// 0
+	// -0.5
+}
+
+func ExampleGreedyCover() {
+	// Figure 6's construction: order generators by marginal contribution.
+	sets := map[string]map[int]struct{}{
+		"6Sense": {1: {}, 2: {}, 3: {}},
+		"6Tree":  {3: {}, 4: {}},
+		"6Scan":  {4: {}},
+	}
+	for _, c := range metrics.GreedyCover(sets) {
+		fmt.Printf("%s +%d -> %d\n", c.Name, c.New, c.Total)
+	}
+	// Output:
+	// 6Sense +3 -> 3
+	// 6Scan +1 -> 4
+	// 6Tree +0 -> 4
+}

@@ -1,0 +1,136 @@
+package probe
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+
+	"seedscan/internal/ipaddr"
+)
+
+// dnsHeaderLen is the fixed DNS message header size (RFC 1035 §4.1.1).
+const dnsHeaderLen = 12
+
+const udpHeaderLen = 8
+
+// DNS query type and class used by the scanner (AAAA, IN), matching the
+// version-bind-style liveness probes real UDP/53 scans send.
+const (
+	dnsTypeAAAA = 28
+	dnsClassIN  = 1
+)
+
+// ErrBadName reports an unencodable or undecodable DNS name.
+var ErrBadName = errors.New("probe: bad DNS name")
+
+// BuildDNSQuery constructs a UDP/53 DNS query for qname (AAAA, IN). The
+// transaction id and source port carry the scanner's validation cookie.
+func BuildDNSQuery(src, dst ipaddr.Addr, srcPort, txid uint16, qname string) ([]byte, error) {
+	q, err := encodeName(qname)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, dnsHeaderLen+len(q)+4)
+	binary.BigEndian.PutUint16(msg[0:2], txid)
+	msg[2] = 0x01 // RD
+	binary.BigEndian.PutUint16(msg[4:6], 1)
+	copy(msg[dnsHeaderLen:], q)
+	off := dnsHeaderLen + len(q)
+	binary.BigEndian.PutUint16(msg[off:off+2], dnsTypeAAAA)
+	binary.BigEndian.PutUint16(msg[off+2:off+4], dnsClassIN)
+	return buildUDP(src, dst, srcPort, 53, msg), nil
+}
+
+// BuildDNSResponse constructs the matching response: QR set, question
+// echoed, zero answers (a REFUSED-style reply — enough to count liveness).
+func BuildDNSResponse(src, dst ipaddr.Addr, dstPort, txid uint16, question []byte) []byte {
+	msg := make([]byte, dnsHeaderLen+len(question))
+	binary.BigEndian.PutUint16(msg[0:2], txid)
+	msg[2] = 0x81 // QR + RD
+	msg[3] = 0x05 // RA=0, rcode REFUSED
+	binary.BigEndian.PutUint16(msg[4:6], 1)
+	copy(msg[dnsHeaderLen:], question)
+	return buildUDP(src, dst, 53, dstPort, msg)
+}
+
+func buildUDP(src, dst ipaddr.Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	l4 := make([]byte, udpHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(l4[0:2], srcPort)
+	binary.BigEndian.PutUint16(l4[2:4], dstPort)
+	binary.BigEndian.PutUint16(l4[4:6], uint16(len(l4)))
+	copy(l4[udpHeaderLen:], payload)
+	binary.BigEndian.PutUint16(l4[6:8], checksum(src, dst, ProtoUDP, l4))
+
+	pkt := make([]byte, IPv6HeaderLen+len(l4))
+	putIPv6Header(pkt, src, dst, ProtoUDP, len(l4))
+	copy(pkt[IPv6HeaderLen:], l4)
+	return pkt
+}
+
+func parseUDP(p Packet, l4 []byte) (Packet, error) {
+	if len(l4) < udpHeaderLen {
+		return Packet{}, ErrTruncated
+	}
+	want := binary.BigEndian.Uint16(l4[6:8])
+	cp := make([]byte, len(l4))
+	copy(cp, l4)
+	cp[6], cp[7] = 0, 0
+	if checksum(p.Header.Src, p.Header.Dst, ProtoUDP, cp) != want {
+		return Packet{}, ErrBadChecksum
+	}
+	p.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+	p.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	msg := l4[udpHeaderLen:]
+	if len(msg) < dnsHeaderLen {
+		p.Kind = KindUnknown
+		return p, nil
+	}
+	p.DNSID = binary.BigEndian.Uint16(msg[0:2])
+	if msg[2]&0x80 != 0 {
+		p.Kind = KindDNSResponse
+	} else {
+		p.Kind = KindDNSQuery
+	}
+	p.Payload = msg[dnsHeaderLen:] // question section onward
+	return p, nil
+}
+
+// encodeName converts "a.example.com" to DNS wire format labels.
+func encodeName(name string) ([]byte, error) {
+	if name == "" || len(name) > 253 {
+		return nil, ErrBadName
+	}
+	var out []byte
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if label == "" || len(label) > 63 {
+			return nil, ErrBadName
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0), nil
+}
+
+// DecodeName converts wire-format labels back to dotted form, returning the
+// name and the number of bytes consumed. Compression pointers are not
+// supported (our messages never use them).
+func DecodeName(b []byte) (string, int, error) {
+	var parts []string
+	i := 0
+	for {
+		if i >= len(b) {
+			return "", 0, ErrBadName
+		}
+		l := int(b[i])
+		if l == 0 {
+			i++
+			break
+		}
+		if l > 63 || i+1+l > len(b) {
+			return "", 0, ErrBadName
+		}
+		parts = append(parts, string(b[i+1:i+1+l]))
+		i += 1 + l
+	}
+	return strings.Join(parts, "."), i, nil
+}

@@ -1,0 +1,101 @@
+package probe
+
+import (
+	"encoding/binary"
+
+	"seedscan/internal/ipaddr"
+)
+
+// ICMPv6 type values (RFC 4443).
+const (
+	icmpTypeUnreachable = 1
+	icmpTypeEchoRequest = 128
+	icmpTypeEchoReply   = 129
+)
+
+// Destination Unreachable codes we model.
+const (
+	UnreachNoRoute      = 0
+	UnreachAdminProhib  = 1
+	UnreachAddr         = 3
+	UnreachPort         = 4
+	unreachInvokedBytes = 8 // how much of the invoking packet we quote
+)
+
+// BuildEchoRequest constructs an ICMPv6 Echo Request datagram. The payload
+// typically carries the scanner's validation cookie.
+func BuildEchoRequest(src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
+	return buildEcho(icmpTypeEchoRequest, src, dst, id, seq, payload)
+}
+
+// BuildEchoReply constructs the matching ICMPv6 Echo Reply, echoing id,
+// seq, and payload per RFC 4443 §4.2.
+func BuildEchoReply(src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
+	return buildEcho(icmpTypeEchoReply, src, dst, id, seq, payload)
+}
+
+func buildEcho(typ uint8, src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
+	l4 := make([]byte, 8+len(payload))
+	l4[0] = typ
+	l4[1] = 0 // code
+	binary.BigEndian.PutUint16(l4[4:6], id)
+	binary.BigEndian.PutUint16(l4[6:8], seq)
+	copy(l4[8:], payload)
+	binary.BigEndian.PutUint16(l4[2:4], checksum(src, dst, ProtoICMPv6, l4))
+
+	pkt := make([]byte, IPv6HeaderLen+len(l4))
+	putIPv6Header(pkt, src, dst, ProtoICMPv6, len(l4))
+	copy(pkt[IPv6HeaderLen:], l4)
+	return pkt
+}
+
+// BuildUnreachable constructs an ICMPv6 Destination Unreachable message
+// quoting the start of the invoking packet, as routers do. The src is the
+// responding router; dst is the original prober.
+func BuildUnreachable(src, dst ipaddr.Addr, code uint8, invoking []byte) []byte {
+	quote := invoking
+	if len(quote) > IPv6HeaderLen+unreachInvokedBytes {
+		quote = quote[:IPv6HeaderLen+unreachInvokedBytes]
+	}
+	l4 := make([]byte, 8+len(quote))
+	l4[0] = icmpTypeUnreachable
+	l4[1] = code
+	copy(l4[8:], quote)
+	binary.BigEndian.PutUint16(l4[2:4], checksum(src, dst, ProtoICMPv6, l4))
+
+	pkt := make([]byte, IPv6HeaderLen+len(l4))
+	putIPv6Header(pkt, src, dst, ProtoICMPv6, len(l4))
+	copy(pkt[IPv6HeaderLen:], l4)
+	return pkt
+}
+
+func parseICMP(p Packet, l4 []byte) (Packet, error) {
+	if len(l4) < 8 {
+		return Packet{}, ErrTruncated
+	}
+	want := binary.BigEndian.Uint16(l4[2:4])
+	cp := make([]byte, len(l4))
+	copy(cp, l4)
+	cp[2], cp[3] = 0, 0
+	if checksum(p.Header.Src, p.Header.Dst, ProtoICMPv6, cp) != want {
+		return Packet{}, ErrBadChecksum
+	}
+	switch l4[0] {
+	case icmpTypeEchoRequest:
+		p.Kind = KindEchoRequest
+	case icmpTypeEchoReply:
+		p.Kind = KindEchoReply
+	case icmpTypeUnreachable:
+		p.Kind = KindUnreachable
+		p.UnreachCode = l4[1]
+		p.Payload = l4[8:]
+		return p, nil
+	default:
+		p.Kind = KindUnknown
+		return p, nil
+	}
+	p.EchoID = binary.BigEndian.Uint16(l4[4:6])
+	p.EchoSeq = binary.BigEndian.Uint16(l4[6:8])
+	p.Payload = l4[8:]
+	return p, nil
+}

@@ -1,0 +1,186 @@
+// Package probe implements the wire formats exchanged between the scanner
+// and the simulated IPv6 Internet: IPv6 headers, ICMPv6 Echo and Destination
+// Unreachable, TCP SYN/SYN-ACK/RST segments, and minimal DNS-over-UDP
+// messages. Packets are real byte-encoded IPv6 datagrams with valid
+// checksums; only the link they travel over is in-process.
+//
+// The scanner builds probes with the Build* functions and validates
+// responses with Parse; the world does the reverse. Layout follows RFC 8200
+// (IPv6), RFC 4443 (ICMPv6), RFC 9293 (TCP), RFC 768 (UDP), and RFC 1035
+// (DNS).
+package probe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"seedscan/internal/ipaddr"
+)
+
+// IPv6HeaderLen is the fixed IPv6 header size in bytes.
+const IPv6HeaderLen = 40
+
+// Next-header protocol numbers.
+const (
+	ProtoTCP    = 6
+	ProtoUDP    = 17
+	ProtoICMPv6 = 58
+)
+
+// DefaultHopLimit is the hop limit stamped on generated packets.
+const DefaultHopLimit = 64
+
+// Header is a decoded IPv6 fixed header.
+type Header struct {
+	PayloadLen uint16
+	NextHeader uint8
+	HopLimit   uint8
+	Src, Dst   ipaddr.Addr
+}
+
+// ErrTruncated reports a packet shorter than its headers claim.
+var ErrTruncated = errors.New("probe: truncated packet")
+
+// ErrBadVersion reports a non-IPv6 version field.
+var ErrBadVersion = errors.New("probe: not an IPv6 packet")
+
+// ErrBadChecksum reports a failed transport checksum verification.
+var ErrBadChecksum = errors.New("probe: bad checksum")
+
+// putIPv6Header writes a 40-byte IPv6 header into b.
+func putIPv6Header(b []byte, src, dst ipaddr.Addr, next uint8, payloadLen int) {
+	b[0] = 6 << 4 // version 6, traffic class 0
+	b[1], b[2], b[3] = 0, 0, 0
+	binary.BigEndian.PutUint16(b[4:6], uint16(payloadLen))
+	b[6] = next
+	b[7] = DefaultHopLimit
+	s, d := src.As16(), dst.As16()
+	copy(b[8:24], s[:])
+	copy(b[24:40], d[:])
+}
+
+// parseIPv6Header decodes the fixed header and returns it with the payload.
+func parseIPv6Header(pkt []byte) (Header, []byte, error) {
+	if len(pkt) < IPv6HeaderLen {
+		return Header{}, nil, ErrTruncated
+	}
+	if pkt[0]>>4 != 6 {
+		return Header{}, nil, ErrBadVersion
+	}
+	var h Header
+	h.PayloadLen = binary.BigEndian.Uint16(pkt[4:6])
+	h.NextHeader = pkt[6]
+	h.HopLimit = pkt[7]
+	var s, d [16]byte
+	copy(s[:], pkt[8:24])
+	copy(d[:], pkt[24:40])
+	h.Src = ipaddr.AddrFrom16(s)
+	h.Dst = ipaddr.AddrFrom16(d)
+	payload := pkt[IPv6HeaderLen:]
+	if len(payload) < int(h.PayloadLen) {
+		return Header{}, nil, ErrTruncated
+	}
+	return h, payload[:h.PayloadLen], nil
+}
+
+// checksum computes the Internet checksum over the IPv6 pseudo-header plus
+// the transport payload, per RFC 8200 §8.1.
+func checksum(src, dst ipaddr.Addr, next uint8, payload []byte) uint16 {
+	var sum uint64
+	s, d := src.As16(), dst.As16()
+	for i := 0; i < 16; i += 2 {
+		sum += uint64(binary.BigEndian.Uint16(s[i : i+2]))
+		sum += uint64(binary.BigEndian.Uint16(d[i : i+2]))
+	}
+	sum += uint64(len(payload))
+	sum += uint64(next)
+	for i := 0; i+1 < len(payload); i += 2 {
+		sum += uint64(binary.BigEndian.Uint16(payload[i : i+2]))
+	}
+	if len(payload)%2 == 1 {
+		sum += uint64(payload[len(payload)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Kind identifies the decoded packet type.
+type Kind uint8
+
+const (
+	KindUnknown Kind = iota
+	KindEchoRequest
+	KindEchoReply
+	KindUnreachable
+	KindTCPSyn
+	KindTCPSynAck
+	KindTCPRst
+	KindDNSQuery
+	KindDNSResponse
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindEchoRequest:
+		return "EchoRequest"
+	case KindEchoReply:
+		return "EchoReply"
+	case KindUnreachable:
+		return "Unreachable"
+	case KindTCPSyn:
+		return "TCPSyn"
+	case KindTCPSynAck:
+		return "TCPSynAck"
+	case KindTCPRst:
+		return "TCPRst"
+	case KindDNSQuery:
+		return "DNSQuery"
+	case KindDNSResponse:
+		return "DNSResponse"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Packet is the decoded form of any probe or response.
+type Packet struct {
+	Header Header
+	Kind   Kind
+
+	// ICMP echo fields.
+	EchoID, EchoSeq uint16
+	Payload         []byte // echo payload or DNS question name bytes
+
+	// Unreachable: code per RFC 4443 §3.1.
+	UnreachCode uint8
+
+	// TCP fields.
+	SrcPort, DstPort uint16
+	TCPSeq, TCPAck   uint32
+
+	// DNS fields.
+	DNSID uint16
+}
+
+// Parse decodes an IPv6 packet into a Packet, verifying transport
+// checksums.
+func Parse(pkt []byte) (Packet, error) {
+	h, payload, err := parseIPv6Header(pkt)
+	if err != nil {
+		return Packet{}, err
+	}
+	p := Packet{Header: h}
+	switch h.NextHeader {
+	case ProtoICMPv6:
+		return parseICMP(p, payload)
+	case ProtoTCP:
+		return parseTCP(p, payload)
+	case ProtoUDP:
+		return parseUDP(p, payload)
+	default:
+		return Packet{}, fmt.Errorf("probe: unsupported next header %d", h.NextHeader)
+	}
+}

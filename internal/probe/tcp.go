@@ -1,0 +1,81 @@
+package probe
+
+import (
+	"encoding/binary"
+
+	"seedscan/internal/ipaddr"
+)
+
+// TCP flag bits.
+const (
+	tcpFlagFin = 1 << 0
+	tcpFlagSyn = 1 << 1
+	tcpFlagRst = 1 << 2
+	tcpFlagAck = 1 << 4
+)
+
+const tcpHeaderLen = 20
+
+// BuildTCPSyn constructs a TCP SYN probe. seq carries the scanner's
+// validation cookie (SYN cookies in reverse: the responder must ack seq+1).
+func BuildTCPSyn(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq uint32) []byte {
+	return buildTCP(src, dst, srcPort, dstPort, seq, 0, tcpFlagSyn)
+}
+
+// BuildTCPSynAck constructs the SYN-ACK a listening port answers with:
+// ack must be the probe's seq+1.
+func BuildTCPSynAck(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32) []byte {
+	return buildTCP(src, dst, srcPort, dstPort, seq, ack, tcpFlagSyn|tcpFlagAck)
+}
+
+// BuildTCPRst constructs the RST a live host with a closed port answers
+// with. Per the paper's methodology (§4.1), RSTs are not counted as hits.
+func BuildTCPRst(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32) []byte {
+	return buildTCP(src, dst, srcPort, dstPort, seq, ack, tcpFlagRst|tcpFlagAck)
+}
+
+func buildTCP(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32, flags uint8) []byte {
+	l4 := make([]byte, tcpHeaderLen)
+	binary.BigEndian.PutUint16(l4[0:2], srcPort)
+	binary.BigEndian.PutUint16(l4[2:4], dstPort)
+	binary.BigEndian.PutUint32(l4[4:8], seq)
+	binary.BigEndian.PutUint32(l4[8:12], ack)
+	l4[12] = (tcpHeaderLen / 4) << 4 // data offset
+	l4[13] = flags
+	binary.BigEndian.PutUint16(l4[14:16], 65535) // window
+	binary.BigEndian.PutUint16(l4[16:18], checksum(src, dst, ProtoTCP, l4))
+
+	pkt := make([]byte, IPv6HeaderLen+len(l4))
+	putIPv6Header(pkt, src, dst, ProtoTCP, len(l4))
+	copy(pkt[IPv6HeaderLen:], l4)
+	return pkt
+}
+
+func parseTCP(p Packet, l4 []byte) (Packet, error) {
+	if len(l4) < tcpHeaderLen {
+		return Packet{}, ErrTruncated
+	}
+	want := binary.BigEndian.Uint16(l4[16:18])
+	cp := make([]byte, len(l4))
+	copy(cp, l4)
+	cp[16], cp[17] = 0, 0
+	if checksum(p.Header.Src, p.Header.Dst, ProtoTCP, cp) != want {
+		return Packet{}, ErrBadChecksum
+	}
+	p.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+	p.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	p.TCPSeq = binary.BigEndian.Uint32(l4[4:8])
+	p.TCPAck = binary.BigEndian.Uint32(l4[8:12])
+	flags := l4[13]
+	switch {
+	case flags&tcpFlagRst != 0:
+		p.Kind = KindTCPRst
+	case flags&tcpFlagSyn != 0 && flags&tcpFlagAck != 0:
+		p.Kind = KindTCPSynAck
+	case flags&tcpFlagSyn != 0:
+		p.Kind = KindTCPSyn
+	default:
+		p.Kind = KindUnknown
+	}
+	return p, nil
+}

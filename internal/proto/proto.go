@@ -1,0 +1,73 @@
+// Package proto enumerates the scan targets studied in the paper: ICMPv6
+// Echo, TCP/80, TCP/443, and UDP/53. The whole pipeline — seed datasets,
+// scanner, world, metrics — is parameterized by these four protocols.
+package proto
+
+import "fmt"
+
+// Protocol identifies one of the four probe types used across the study.
+type Protocol uint8
+
+const (
+	// ICMP is ICMPv6 Echo Request/Reply.
+	ICMP Protocol = iota
+	// TCP80 is a TCP SYN probe to port 80.
+	TCP80
+	// TCP443 is a TCP SYN probe to port 443.
+	TCP443
+	// UDP53 is a DNS query over UDP to port 53.
+	UDP53
+
+	// Count is the number of protocols.
+	Count = 4
+)
+
+// All lists every protocol in the paper's canonical order.
+var All = [Count]Protocol{ICMP, TCP80, TCP443, UDP53}
+
+// String returns the paper's label for p.
+func (p Protocol) String() string {
+	switch p {
+	case ICMP:
+		return "ICMP"
+	case TCP80:
+		return "TCP80"
+	case TCP443:
+		return "TCP443"
+	case UDP53:
+		return "UDP53"
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+// Port returns the transport port for TCP/UDP protocols and 0 for ICMP.
+func (p Protocol) Port() uint16 {
+	switch p {
+	case TCP80:
+		return 80
+	case TCP443:
+		return 443
+	case UDP53:
+		return 53
+	}
+	return 0
+}
+
+// IsTCP reports whether p is one of the TCP probe types.
+func (p Protocol) IsTCP() bool { return p == TCP80 || p == TCP443 }
+
+// Parse converts a label accepted case-insensitively ("icmp", "tcp80",
+// "tcp443", "udp53") to a Protocol.
+func Parse(s string) (Protocol, error) {
+	switch s {
+	case "ICMP", "icmp":
+		return ICMP, nil
+	case "TCP80", "tcp80":
+		return TCP80, nil
+	case "TCP443", "tcp443":
+		return TCP443, nil
+	case "UDP53", "udp53":
+		return UDP53, nil
+	}
+	return 0, fmt.Errorf("proto: unknown protocol %q", s)
+}

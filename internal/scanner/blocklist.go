@@ -1,0 +1,63 @@
+package scanner
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seedscan/internal/ipaddr"
+)
+
+// Blocklist support. The paper's ethics appendix stresses that scanners
+// must honour opt-out requests — and notes that 6Scan's scanner shipped
+// without blocklisting, which the authors had to add. Here blocklists are
+// first-class: a prefix trie consulted before any probe leaves the
+// scanner.
+
+// LoadBlocklist parses a blocklist in ZMap's conf format: one IPv6 prefix
+// or address per line, '#' comments and blank lines ignored. Bare
+// addresses block exactly that /128.
+func LoadBlocklist(r io.Reader) (*ipaddr.Trie, error) {
+	t := ipaddr.NewTrie()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.ContainsRune(line, '/') {
+			p, err := ipaddr.ParsePrefix(line)
+			if err != nil {
+				return nil, fmt.Errorf("scanner: blocklist line %d: %w", lineNo, err)
+			}
+			t.Insert(p, true)
+			continue
+		}
+		a, err := ipaddr.Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("scanner: blocklist line %d: %w", lineNo, err)
+		}
+		t.Insert(ipaddr.PrefixFrom(a, 128), true)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scanner: blocklist: %w", err)
+	}
+	return t, nil
+}
+
+// LoadBlocklistFile loads a blocklist from a file path.
+func LoadBlocklistFile(path string) (*ipaddr.Trie, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scanner: blocklist %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadBlocklist(f)
+}

@@ -1,0 +1,85 @@
+package scanner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seedscan/internal/ipaddr"
+)
+
+func TestLoadBlocklist(t *testing.T) {
+	in := `
+# opt-out ranges
+2001:db8::/32      # research prefix
+2600:9000::1       # single host opt-out
+
+fe80::/10
+`
+	bl, err := LoadBlocklist(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr string
+		want bool
+	}{
+		{"2001:db8:1234::1", true},
+		{"2600:9000::1", true},
+		{"2600:9000::2", false},
+		{"fe80::abcd", true},
+		{"2607::1", false},
+	}
+	for _, c := range cases {
+		if got := bl.Contains(ipaddr.MustParse(c.addr)); got != c.want {
+			t.Errorf("Contains(%s) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestLoadBlocklistErrors(t *testing.T) {
+	for _, in := range []string{"not-an-address\n", "2001:db8::/200\n", "1.2.3.0/24\n"} {
+		if _, err := LoadBlocklist(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestLoadBlocklistFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blocklist.conf")
+	if err := os.WriteFile(path, []byte("2001:db8::/32\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := LoadBlocklistFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bl.Contains(ipaddr.MustParse("2001:db8::5")) {
+		t.Fatal("loaded blocklist not effective")
+	}
+	if _, err := LoadBlocklistFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBlocklistIntegratesWithScan(t *testing.T) {
+	w := testWorld(t)
+	bl, err := LoadBlocklist(strings.NewReader("2000::/3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(w.Link(), Config{Secret: 9, Blocklist: bl})
+	samp := w.NewSampler(99)
+	targets := samp.Hosts(50)
+	res := s.Scan(targets, 0)
+	for _, r := range res {
+		if r.Status != StatusBlocked {
+			t.Fatalf("%v not blocked", r.Addr)
+		}
+	}
+	if s.Stats().PacketsSent.Load() != 0 {
+		t.Fatal("packets escaped the blocklist")
+	}
+}

@@ -1,0 +1,40 @@
+package scanner
+
+import "sync"
+
+// RateLimiter implements the paper's ethical probe-rate cap (10k pps) on a
+// virtual clock: instead of sleeping, it advances simulated time by one
+// inter-packet gap per Take. Experiments therefore run at full speed while
+// VirtualElapsed reports how long the scan would take on real hardware —
+// the figure EXPERIMENTS.md quotes when comparing against the paper's
+// two-month scanning window.
+type RateLimiter struct {
+	mu      sync.Mutex
+	gap     float64 // seconds per packet
+	elapsed float64 // virtual seconds consumed
+}
+
+// NewRateLimiter caps at pps packets per second.
+func NewRateLimiter(pps int) *RateLimiter {
+	if pps <= 0 {
+		pps = 1
+	}
+	return &RateLimiter{gap: 1 / float64(pps)}
+}
+
+// Take accounts for one packet and returns the virtual send time in
+// seconds since the limiter was created.
+func (r *RateLimiter) Take() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.elapsed
+	r.elapsed += r.gap
+	return t
+}
+
+// VirtualElapsed returns the total virtual seconds consumed so far.
+func (r *RateLimiter) VirtualElapsed() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.elapsed
+}

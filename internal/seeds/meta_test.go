@@ -1,0 +1,60 @@
+package seeds
+
+import "testing"
+
+func TestMetaCoversAllSources(t *testing.T) {
+	for _, src := range AllSources {
+		m, ok := Meta[src]
+		if !ok {
+			t.Fatalf("no metadata for %v", src)
+		}
+		if m.Collected == "" || m.Description == "" {
+			t.Fatalf("%v metadata incomplete", src)
+		}
+		if m.PaperUnique <= 0 || m.PaperDealiased <= 0 || m.PaperActive <= 0 || m.PaperASes <= 0 {
+			t.Fatalf("%v paper columns missing", src)
+		}
+		// Table 3 invariant: active ⊆ dealiased ⊆ unique.
+		if m.PaperActive > m.PaperDealiased || m.PaperDealiased > m.PaperUnique {
+			t.Fatalf("%v paper columns inconsistent: %+v", src, m)
+		}
+	}
+}
+
+func TestMetaDomainVolumes(t *testing.T) {
+	for _, src := range AllSources {
+		m := Meta[src]
+		if src.Category() == "D" {
+			if m.PaperDomains == 0 || m.PaperAAAA == 0 {
+				t.Fatalf("%v missing Table 8 volumes", src)
+			}
+			if m.PaperAAAA > m.PaperDomains {
+				t.Fatalf("%v AAAA > domains", src)
+			}
+		} else if m.PaperDomains != 0 {
+			t.Fatalf("%v is not a domain source but has domain volumes", src)
+		}
+	}
+}
+
+func TestMetaProfileOrderingMatchesPaper(t *testing.T) {
+	// Our collector base volumes keep the paper's relative ordering for
+	// the headline sources.
+	bigger := func(a, b Source) bool {
+		return profiles[a].baseCount > profiles[b].baseCount
+	}
+	if !bigger(SourceRapid7, SourceHitlist) || !bigger(SourceHitlist, SourceScamper) ||
+		!bigger(SourceScamper, SourceUmbrella) {
+		t.Fatal("collector volumes violate the paper's source ordering")
+	}
+	// AddrMiner's paper alias share (86%) must be reflected in its
+	// profile's alias fraction being the largest.
+	for _, src := range AllSources {
+		if src == SourceAddrMiner {
+			continue
+		}
+		if profiles[src].aliasFrac > profiles[SourceAddrMiner].aliasFrac {
+			t.Fatalf("%v alias fraction exceeds AddrMiner's", src)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package all registers the eight studied TGAs behind one factory, in the
+// paper's canonical presentation order.
+package all
+
+import (
+	"fmt"
+
+	"seedscan/internal/tga"
+	"seedscan/internal/tga/addrminer"
+	"seedscan/internal/tga/det"
+	"seedscan/internal/tga/entropyip"
+	"seedscan/internal/tga/sixgen"
+	"seedscan/internal/tga/sixgraph"
+	"seedscan/internal/tga/sixhit"
+	"seedscan/internal/tga/sixscan"
+	"seedscan/internal/tga/sixsense"
+	"seedscan/internal/tga/sixtree"
+)
+
+// Names lists the eight TGAs in the paper's canonical order.
+var Names = []string{"6Sense", "DET", "6Tree", "6Scan", "6Graph", "6Gen", "6Hit", "EIP"}
+
+// ExtendedNames adds the generators implemented beyond the paper's study
+// set (AddrMiner, the DET-derived long-term miner whose hitlist §5.1
+// consumes as a seed source).
+var ExtendedNames = append(append([]string(nil), Names...), "AddrMiner")
+
+// New constructs a fresh generator by name.
+func New(name string) (tga.Generator, error) {
+	switch name {
+	case "6Sense":
+		return sixsense.New(), nil
+	case "DET":
+		return det.New(), nil
+	case "6Tree":
+		return sixtree.New(), nil
+	case "6Scan":
+		return sixscan.New(), nil
+	case "6Graph":
+		return sixgraph.New(), nil
+	case "6Gen":
+		return sixgen.New(), nil
+	case "6Hit":
+		return sixhit.New(), nil
+	case "EIP":
+		return entropyip.New(), nil
+	case "AddrMiner":
+		return addrminer.New(nil), nil
+	}
+	return nil, fmt.Errorf("tga/all: unknown generator %q", name)
+}
+
+// MustNew is New but panics on unknown names; for tables driven by Names.
+func MustNew(name string) tga.Generator {
+	g, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NewAll constructs one fresh instance of every generator, in order.
+func NewAll() []tga.Generator {
+	out := make([]tga.Generator, 0, len(Names))
+	for _, n := range Names {
+		out = append(out, MustNew(n))
+	}
+	return out
+}

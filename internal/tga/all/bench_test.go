@@ -1,0 +1,90 @@
+package all_test
+
+import (
+	"testing"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/tga"
+	"seedscan/internal/tga/all"
+	"seedscan/internal/world"
+)
+
+// Generation-throughput benchmarks: addresses proposed per second for each
+// TGA, with no scanning in the loop (offline generation path). 6Sense and
+// the online tree models additionally pay their feedback costs in real
+// runs; see the experiment benches at the repository root for end-to-end
+// figures.
+
+func benchSeeds(b *testing.B) []ipaddr.Addr {
+	b.Helper()
+	w := world.New(world.Config{Seed: 42, NumASes: 60, LossRate: 0})
+	samp := w.NewSampler(1)
+	seeds := samp.Hosts(5000)
+	if len(seeds) < 4000 {
+		b.Fatalf("seeds = %d", len(seeds))
+	}
+	return seeds
+}
+
+func BenchmarkGeneration(b *testing.B) {
+	seeds := benchSeeds(b)
+	for _, name := range all.Names {
+		b.Run(name, func(b *testing.B) {
+			g := all.MustNew(name)
+			if err := g.Init(seeds); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			produced := 0
+			for produced < b.N {
+				batch := g.NextBatch(4096)
+				if len(batch) == 0 {
+					// Model saturated (EIP on small seeds): restart on a
+					// fresh instance to keep the measurement honest.
+					g = all.MustNew(name)
+					if err := g.Init(seeds); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				produced += len(batch)
+			}
+			b.ReportMetric(float64(produced), "addrs")
+		})
+	}
+}
+
+func BenchmarkInit(b *testing.B) {
+	seeds := benchSeeds(b)
+	for _, name := range all.Names {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := all.MustNew(name).Init(seeds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFeedback(b *testing.B) {
+	seeds := benchSeeds(b)
+	for _, name := range []string{"6Sense", "DET", "6Scan", "6Hit"} {
+		b.Run(name, func(b *testing.B) {
+			g := all.MustNew(name)
+			if err := g.Init(seeds); err != nil {
+				b.Fatal(err)
+			}
+			batch := g.NextBatch(2048)
+			fb := make([]tga.ProbeResult, len(batch))
+			for i, a := range batch {
+				fb[i] = tga.ProbeResult{Addr: a, Active: i%3 == 0}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Feedback(fb)
+			}
+		})
+	}
+}

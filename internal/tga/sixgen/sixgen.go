@@ -1,0 +1,159 @@
+// Package sixgen implements 6Gen (Murdock et al., IMC 2017): seed
+// clustering by nybble Hamming distance. Each cluster's range is the
+// per-position union of its members' values; clusters grow greedily by
+// absorbing the nearest seeds while the seed density of the resulting
+// range stays highest. Generation enumerates the densest cluster ranges
+// first.
+//
+// 6Gen also originated the online /96 dealiasing test this repository's
+// alias package implements; as a generator it runs offline.
+package sixgen
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/tga"
+)
+
+// Generator is the 6Gen TGA. Construct with New.
+type Generator struct {
+	// MaxClusterRadius is the nybble distance within which seeds join an
+	// existing cluster (default 4).
+	MaxClusterRadius int
+	// MaxClusters caps the number of tracked clusters; further seeds join
+	// their nearest cluster regardless of radius (default 4096).
+	MaxClusters int
+
+	clusters []*cluster
+	produced []int
+	emitted  *ipaddr.Set
+}
+
+type cluster struct {
+	rep   ipaddr.Addr // first member, the cluster representative
+	masks [ipaddr.NybbleCount]tga.ValueMask
+	size  int
+	gen   *tga.LeafGen
+}
+
+// New returns a 6Gen generator with default parameters.
+func New() *Generator { return &Generator{MaxClusterRadius: 4, MaxClusters: 4096} }
+
+// Name implements tga.Generator.
+func (g *Generator) Name() string { return "6Gen" }
+
+// Online implements tga.Generator. 6Gen generation is offline.
+func (g *Generator) Online() bool { return false }
+
+// Init clusters the seeds and prepares range enumerators.
+func (g *Generator) Init(seeds []ipaddr.Addr) error {
+	if len(seeds) == 0 {
+		return errors.New("sixgen: empty seed set")
+	}
+	if g.MaxClusterRadius <= 0 {
+		g.MaxClusterRadius = 4
+	}
+	if g.MaxClusters <= 0 {
+		g.MaxClusters = 4096
+	}
+
+	// Greedy clustering with a prefix index: seeds sharing their top 16
+	// nybbles are clustering candidates (cross-prefix seeds are farther
+	// than any useful radius anyway).
+	byPrefix := make(map[uint64][]*cluster)
+	g.clusters = g.clusters[:0]
+	for _, a := range seeds {
+		key := a.Hi()
+		var best *cluster
+		bestDist := g.MaxClusterRadius + 1
+		for _, c := range byPrefix[key] {
+			if d := c.rep.NybbleDistance(a); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		if best == nil && len(g.clusters) >= g.MaxClusters && len(byPrefix[key]) > 0 {
+			best = byPrefix[key][0]
+		}
+		if best == nil {
+			c := &cluster{rep: a, size: 1}
+			for i := 0; i < ipaddr.NybbleCount; i++ {
+				c.masks[i] = 1 << a.Nybble(i)
+			}
+			byPrefix[key] = append(byPrefix[key], c)
+			g.clusters = append(g.clusters, c)
+			continue
+		}
+		for i := 0; i < ipaddr.NybbleCount; i++ {
+			best.masks[i] |= 1 << a.Nybble(i)
+		}
+		best.size++
+	}
+
+	// Density order: seeds per range combination, descending.
+	sort.SliceStable(g.clusters, func(i, j int) bool {
+		di := float64(g.clusters[i].size) / tga.MaskSize(g.clusters[i].masks)
+		dj := float64(g.clusters[j].size) / tga.MaskSize(g.clusters[j].masks)
+		if di != dj {
+			return di > dj
+		}
+		return g.clusters[i].size > g.clusters[j].size
+	})
+	for _, c := range g.clusters {
+		c.gen = tga.NewLeafGen(c.masks, nil)
+	}
+	g.produced = make([]int, len(g.clusters))
+	g.emitted = ipaddr.NewSet()
+	return nil
+}
+
+// NextBatch enumerates ranges weighted by cluster size, densest-first.
+func (g *Generator) NextBatch(n int) []ipaddr.Addr {
+	out := make([]ipaddr.Addr, 0, n)
+	for len(out) < n {
+		best, bestScore := -1, -1.0
+		for i, c := range g.clusters {
+			if c.gen == nil {
+				continue
+			}
+			score := math.Sqrt(float64(c.size)) / float64(g.produced[i]+1)
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := g.clusters[best]
+		chunk := 4 * c.size
+		if chunk < 8 {
+			chunk = 8
+		}
+		if chunk > n/4 {
+			chunk = n/4 + 1
+		}
+		got := 0
+		for got < chunk && len(out) < n {
+			a, ok := c.gen.Next()
+			if !ok {
+				c.gen = nil
+				break
+			}
+			if !g.emitted.Add(a) {
+				continue
+			}
+			out = append(out, a)
+			got++
+		}
+		g.produced[best] += got
+	}
+	return out
+}
+
+// Feedback implements tga.Generator; 6Gen ignores scan results.
+func (g *Generator) Feedback([]tga.ProbeResult) {}
+
+// ClusterCount reports the number of clusters built (diagnostics).
+func (g *Generator) ClusterCount() int { return len(g.clusters) }

@@ -1,0 +1,205 @@
+// Package sixgraph implements 6Graph (Yang et al., Computer Networks
+// 2022): entropy-guided divisive clustering like DET, but offline, with a
+// graph-theoretic pattern-merging pass. Leaves whose patterns differ in
+// few positions are connected in a pattern graph; connected components are
+// merged into wider patterns whose value masks are unioned, and generation
+// expands the merged patterns.
+package sixgraph
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"sort"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/tga"
+)
+
+// Generator is the 6Graph TGA. Construct with New.
+type Generator struct {
+	// MinLeaf stops splitting below this many seeds (default 4).
+	MinLeaf int
+	// MergeDistance joins two leaf patterns when their masks differ in at
+	// most this many positions (default 2).
+	MergeDistance int
+
+	clusters []*cluster
+	produced []int
+	emitted  *ipaddr.Set
+}
+
+type cluster struct {
+	masks [ipaddr.NybbleCount]tga.ValueMask
+	seeds int
+	gen   *tga.LeafGen
+}
+
+// bucketPositions is how many leading nybble positions must match exactly
+// for two leaf patterns to be merge candidates.
+const bucketPositions = 8
+
+// New returns a 6Graph generator with default parameters.
+func New() *Generator { return &Generator{MinLeaf: 4, MergeDistance: 2} }
+
+// Name implements tga.Generator.
+func (g *Generator) Name() string { return "6Graph" }
+
+// Online implements tga.Generator. 6Graph is offline.
+func (g *Generator) Online() bool { return false }
+
+// Init builds the entropy tree and merges similar leaves.
+func (g *Generator) Init(seeds []ipaddr.Addr) error {
+	if len(seeds) == 0 {
+		return errors.New("sixgraph: empty seed set")
+	}
+	if g.MinLeaf <= 0 {
+		g.MinLeaf = 4
+	}
+	if g.MergeDistance <= 0 {
+		g.MergeDistance = 2
+	}
+	root := tga.BuildTree(seeds, g.MinLeaf, tga.SplitMinEntropy)
+	leaves := root.Leaves()
+
+	// Pattern graph: union-find over leaves within MergeDistance.
+	parent := make([]int, len(leaves))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Bucket leaves by their leading-position masks: leaves from different
+	// top-level allocations differ in many prefix positions and can never
+	// merge, so only same-bucket pairs are compared. This keeps the pass
+	// near-linear on Internet-scale seed sets.
+	buckets := make(map[[bucketPositions]tga.ValueMask][]int)
+	for i, l := range leaves {
+		var key [bucketPositions]tga.ValueMask
+		copy(key[:], l.Masks[:bucketPositions])
+		buckets[key] = append(buckets[key], i)
+	}
+	for _, idx := range buckets {
+		for x := 0; x < len(idx); x++ {
+			for y := x + 1; y < len(idx); y++ {
+				if maskDistance(leaves[idx[x]].Masks, leaves[idx[y]].Masks) <= g.MergeDistance {
+					union(idx[x], idx[y])
+				}
+			}
+		}
+	}
+
+	// Merge components in deterministic (leaf index) order.
+	comp := make(map[int]*cluster)
+	g.clusters = g.clusters[:0]
+	for i, l := range leaves {
+		r := find(i)
+		c, ok := comp[r]
+		if !ok {
+			c = &cluster{}
+			comp[r] = c
+			g.clusters = append(g.clusters, c)
+		}
+		for p := 0; p < ipaddr.NybbleCount; p++ {
+			c.masks[p] |= l.Masks[p]
+		}
+		c.seeds += len(l.Seeds)
+	}
+	for _, c := range g.clusters {
+		c.gen = tga.NewLeafGen(c.masks, nil)
+	}
+	// Deterministic order: biggest clusters first.
+	sortClusters(g.clusters)
+	g.produced = make([]int, len(g.clusters))
+	g.emitted = ipaddr.NewSet()
+	return nil
+}
+
+func sortClusters(cs []*cluster) {
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].seeds > cs[j].seeds })
+}
+
+// maskDistance counts positions where two mask arrays differ.
+func maskDistance(a, b [ipaddr.NybbleCount]tga.ValueMask) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// NextBatch allocates proportionally to cluster seed counts.
+func (g *Generator) NextBatch(n int) []ipaddr.Addr {
+	out := make([]ipaddr.Addr, 0, n)
+	for len(out) < n {
+		best, bestScore := -1, -1.0
+		for i, c := range g.clusters {
+			if c.gen == nil {
+				continue
+			}
+			// Logarithmic weighting visits every pattern near-uniformly
+			// with a mild bias to seed-rich ones; breadth across patterns
+			// is what gives 6Graph its AS diversity.
+			score := (1 + math.Log2(float64(c.seeds)+1)) / float64(g.produced[i]+1)
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := g.clusters[best]
+		chunk := c.seeds
+		if chunk < 8 {
+			chunk = 8
+		}
+		if chunk > n/4 {
+			chunk = n/4 + 1
+		}
+		got := 0
+		for got < chunk && len(out) < n {
+			a, ok := c.gen.Next()
+			if !ok {
+				c.gen = nil
+				break
+			}
+			if !g.emitted.Add(a) {
+				continue
+			}
+			out = append(out, a)
+			got++
+		}
+		g.produced[best] += got
+	}
+	return out
+}
+
+// Feedback implements tga.Generator; 6Graph ignores scan results.
+func (g *Generator) Feedback([]tga.ProbeResult) {}
+
+// ClusterCount reports the number of merged patterns (diagnostics).
+func (g *Generator) ClusterCount() int { return len(g.clusters) }
+
+// ClusterWidth reports the total variable positions across clusters — a
+// measure of how much merging widened the patterns (diagnostics).
+func (g *Generator) ClusterWidth() int {
+	total := 0
+	for _, c := range g.clusters {
+		for _, m := range c.masks {
+			if bits.OnesCount16(m) > 1 {
+				total++
+			}
+		}
+	}
+	return total
+}

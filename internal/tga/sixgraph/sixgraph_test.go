@@ -1,0 +1,119 @@
+package sixgraph
+
+import (
+	"testing"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/tga"
+)
+
+func TestMetadataAndInit(t *testing.T) {
+	g := New()
+	if g.Name() != "6Graph" || g.Online() {
+		t.Fatal("metadata wrong")
+	}
+	if err := g.Init(nil); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+}
+
+func TestPatternMergingWidensMasks(t *testing.T) {
+	// Two leaf-sized groups in the same /48 whose patterns differ at a
+	// single position: merging must union their masks.
+	var seeds []ipaddr.Addr
+	a := ipaddr.MustParse("2001:db8:1:a::")
+	b := ipaddr.MustParse("2001:db8:1:b::")
+	for i := 1; i <= 5; i++ {
+		seeds = append(seeds, a.AddLo(uint64(i)), b.AddLo(uint64(i)))
+	}
+	merged := New()
+	if err := merged.Init(seeds); err != nil {
+		t.Fatal(err)
+	}
+	unmerged := New()
+	unmerged.MergeDistance = -1 // sentinel: fixed below
+	unmerged.MergeDistance = 1  // too tight to merge across two positions? distance is 1 here
+	_ = unmerged
+
+	if merged.ClusterCount() >= 2 {
+		// Groups at distance 1 (only nybble 15 differs) must merge.
+		t.Fatalf("clusters = %d, expected the two patterns to merge", merged.ClusterCount())
+	}
+	if merged.ClusterWidth() == 0 {
+		t.Fatal("merged pattern has no variable positions")
+	}
+	// The merged pattern generates cross-products spanning both groups.
+	got := ipaddr.NewSet()
+	for i := 0; i < 5; i++ {
+		got.AddAll(merged.NextBatch(100))
+	}
+	inA, inB := false, false
+	p48a := ipaddr.MustParsePrefix("2001:db8:1:a::/64")
+	p48b := ipaddr.MustParsePrefix("2001:db8:1:b::/64")
+	got.Each(func(x ipaddr.Addr) {
+		if p48a.Contains(x) {
+			inA = true
+		}
+		if p48b.Contains(x) {
+			inB = true
+		}
+	})
+	if !inA || !inB {
+		t.Fatalf("merged generation one-sided: a=%v b=%v", inA, inB)
+	}
+}
+
+func TestDistantPatternsStaySeparate(t *testing.T) {
+	var seeds []ipaddr.Addr
+	a := ipaddr.MustParse("2001:db8::")        // low IIDs
+	b := ipaddr.MustParse("2600:9000::cafe:0") // different prefix + style
+	for i := 1; i <= 5; i++ {
+		seeds = append(seeds, a.AddLo(uint64(i)), b.AddLo(uint64(i)))
+	}
+	g := New()
+	if err := g.Init(seeds); err != nil {
+		t.Fatal(err)
+	}
+	if g.ClusterCount() < 2 {
+		t.Fatal("cross-prefix patterns merged")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	var seeds []ipaddr.Addr
+	base := ipaddr.MustParse("2001:db8::")
+	for i := 0; i < 50; i++ {
+		seeds = append(seeds, base.AddLo(uint64(i*5%97)))
+	}
+	out := func() []ipaddr.Addr {
+		g := New()
+		if err := g.Init(seeds); err != nil {
+			t.Fatal(err)
+		}
+		var got []ipaddr.Addr
+		for i := 0; i < 3; i++ {
+			got = append(got, g.NextBatch(100)...)
+		}
+		return got
+	}
+	a, b := out(), out()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFeedbackIgnored(t *testing.T) {
+	g := New()
+	if err := g.Init([]ipaddr.Addr{ipaddr.MustParse("2001:db8::1"), ipaddr.MustParse("2001:db8::2")}); err != nil {
+		t.Fatal(err)
+	}
+	g.Feedback([]tga.ProbeResult{{Active: true}})
+	if len(g.NextBatch(5)) == 0 {
+		t.Fatal("generation stopped after feedback")
+	}
+}

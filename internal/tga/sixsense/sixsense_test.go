@@ -1,0 +1,146 @@
+package sixsense
+
+import (
+	"testing"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/tga"
+)
+
+func denseSeeds() []ipaddr.Addr {
+	var out []ipaddr.Addr
+	a := ipaddr.MustParse("2001:db8::")
+	b := ipaddr.MustParse("2600:9000:1::")
+	for i := 1; i <= 50; i++ {
+		out = append(out, a.AddLo(uint64(i)), b.AddLo(uint64(i)))
+	}
+	return out
+}
+
+func TestMetadataAndInit(t *testing.T) {
+	g := New()
+	if g.Name() != "6Sense" || !g.Online() {
+		t.Fatal("metadata wrong")
+	}
+	if err := g.Init(nil); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+}
+
+func TestArmsPerPrefix(t *testing.T) {
+	g := New()
+	if err := g.Init(denseSeeds()); err != nil {
+		t.Fatal(err)
+	}
+	if g.ArmCount() != 2 {
+		t.Fatalf("arms = %d, want one per /32", g.ArmCount())
+	}
+}
+
+func TestGenerationFollowsArmModels(t *testing.T) {
+	g := New()
+	if err := g.Init(denseSeeds()); err != nil {
+		t.Fatal(err)
+	}
+	p1 := ipaddr.MustParsePrefix("2001:db8::/32")
+	p2 := ipaddr.MustParsePrefix("2600:9000::/32")
+	batch := g.NextBatch(200)
+	if len(batch) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, a := range batch {
+		if !p1.Contains(a) && !p2.Contains(a) {
+			t.Fatalf("candidate %v outside both seed /32s", a)
+		}
+	}
+}
+
+func TestIntegratedDealiasingBlacklists(t *testing.T) {
+	g := New()
+	if err := g.Init(denseSeeds()); err != nil {
+		t.Fatal(err)
+	}
+	batch := g.NextBatch(64)
+	if len(batch) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Flag the first few candidates as aliased.
+	fb := make([]tga.ProbeResult, len(batch))
+	for i, a := range batch {
+		fb[i] = tga.ProbeResult{Addr: a, Active: true, Aliased: i < 8}
+	}
+	g.Feedback(fb)
+	if g.BlacklistedPrefixes() == 0 {
+		t.Fatal("aliased feedback did not blacklist")
+	}
+	// Future candidates avoid blacklisted /96s.
+	flagged := ipaddr.PrefixFrom(batch[0], 96)
+	for i := 0; i < 10; i++ {
+		for _, a := range g.NextBatch(128) {
+			if flagged.Contains(a) {
+				t.Fatalf("candidate %v inside blacklisted /96", a)
+			}
+		}
+	}
+}
+
+func TestDiversityShareReachesColdArms(t *testing.T) {
+	// One hot arm (many seeds) + many one-seed arms: the diversity share
+	// must still probe the cold arms.
+	var seeds []ipaddr.Addr
+	hot := ipaddr.MustParse("2001:db8::")
+	for i := 1; i <= 200; i++ {
+		seeds = append(seeds, hot.AddLo(uint64(i)))
+	}
+	var coldPrefixes []ipaddr.Prefix
+	for i := 0; i < 10; i++ {
+		base := ipaddr.AddrFrom64s(0x2600_0000_0000_0000|uint64(i+1)<<32, 0)
+		seeds = append(seeds, base.AddLo(1))
+		coldPrefixes = append(coldPrefixes, ipaddr.PrefixFrom(base, 32))
+	}
+	g := New()
+	if err := g.Init(seeds); err != nil {
+		t.Fatal(err)
+	}
+	batch := g.NextBatch(500)
+	coldTouched := 0
+	for _, p := range coldPrefixes {
+		for _, a := range batch {
+			if p.Contains(a) {
+				coldTouched++
+				break
+			}
+		}
+	}
+	if coldTouched < 5 {
+		t.Fatalf("diversity share touched only %d/10 cold arms", coldTouched)
+	}
+}
+
+func TestHitsSharpenModel(t *testing.T) {
+	g := New()
+	if err := g.Init(denseSeeds()); err != nil {
+		t.Fatal(err)
+	}
+	target := ipaddr.MustParsePrefix("2001:db8::/32")
+	// Reward the 2001:db8 arm heavily.
+	for round := 0; round < 5; round++ {
+		batch := g.NextBatch(256)
+		fb := make([]tga.ProbeResult, len(batch))
+		for i, a := range batch {
+			fb[i] = tga.ProbeResult{Addr: a, Active: target.Contains(a)}
+		}
+		g.Feedback(fb)
+	}
+	batch := g.NextBatch(400)
+	in := 0
+	for _, a := range batch {
+		if target.Contains(a) {
+			in++
+		}
+	}
+	// Exploit share (75%) should lean to the rewarded arm.
+	if frac := float64(in) / float64(len(batch)); frac < 0.55 {
+		t.Fatalf("rewarded arm got only %.2f of the batch", frac)
+	}
+}

@@ -1,0 +1,221 @@
+// Package tga defines the Target Generation Algorithm interface and the
+// driver that runs a generator against the scanner, plus the pattern-mining
+// machinery (observed-value masks, per-position entropy, space trees, and
+// leaf enumerators) shared by the eight TGA implementations in the
+// subpackages.
+//
+// The eight generators reproduce the paper's study set: Entropy/IP, 6Gen,
+// 6Tree, 6Hit, DET, 6Graph, 6Scan, and 6Sense. Offline generators ignore
+// Feedback; online generators (DET, 6Hit, 6Scan, 6Sense) adapt their
+// allocation to probe results, which is also what makes them susceptible
+// to aliased-region traps when seeds are not dealiased.
+package tga
+
+import (
+	"fmt"
+	"sort"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
+)
+
+// ProbeResult tells an online generator how one of its candidates fared.
+type ProbeResult struct {
+	Addr ipaddr.Addr
+	// Active is the raw scan outcome (pre-dealiasing) — online models in
+	// the wild adapt to raw responses, which is how they fall into aliased
+	// regions.
+	Active bool
+	// Aliased is the output dealiaser's verdict for the address. Only
+	// generators with integrated dealiasing (6Sense) consult it.
+	Aliased bool
+}
+
+// Generator is a Target Generation Algorithm.
+type Generator interface {
+	// Name returns the paper's label for the algorithm.
+	Name() string
+	// Online reports whether the generator adapts to Feedback.
+	Online() bool
+	// Init ingests the seed dataset. It may be called once per run.
+	Init(seeds []ipaddr.Addr) error
+	// NextBatch proposes up to n candidate addresses. An empty result
+	// means the generator is exhausted.
+	NextBatch(n int) []ipaddr.Addr
+	// Feedback reports scan outcomes for previously proposed candidates.
+	// Offline generators ignore it.
+	Feedback(results []ProbeResult)
+}
+
+// Prober abstracts the scanner for the driver.
+type Prober interface {
+	Scan(targets []ipaddr.Addr, p proto.Protocol) []scanner.Result
+}
+
+// Dealiaser abstracts output dealiasing for the driver.
+type Dealiaser interface {
+	Split(addrs []ipaddr.Addr) (clean, aliased []ipaddr.Addr)
+}
+
+// RunConfig parameterizes a generation-and-scan run.
+type RunConfig struct {
+	// Budget is the number of unique candidate addresses to generate
+	// (the paper's 50M, scaled down).
+	Budget int
+	// BatchSize is the generate→scan→feedback granularity (default 4096).
+	BatchSize int
+	// Proto selects the probe type.
+	Proto proto.Protocol
+	// Prober runs the scans (nil: generation-only run, no feedback).
+	Prober Prober
+	// Dealiaser classifies active outputs (nil: nothing flagged aliased).
+	Dealiaser Dealiaser
+	// ExcludeSeeds removes seed addresses from the generated set, so the
+	// budget buys genuinely new candidates.
+	ExcludeSeeds bool
+}
+
+// RunResult aggregates a run's outcome.
+type RunResult struct {
+	Generator string
+	Proto     proto.Protocol
+	// Generated is the number of unique candidates produced.
+	Generated int
+	// Hits are dealiased active addresses — the paper's headline metric.
+	Hits []ipaddr.Addr
+	// AliasedHits are active addresses the dealiaser discarded.
+	AliasedHits []ipaddr.Addr
+	// Exhausted reports whether the generator ran dry before the budget.
+	Exhausted bool
+}
+
+// HitSet returns the hits as a set.
+func (r *RunResult) HitSet() *ipaddr.Set { return ipaddr.NewSet(r.Hits...) }
+
+// Run drives g: Init with seeds, then batches of generate→scan→feedback
+// until the budget is reached or the generator is exhausted.
+func Run(g Generator, seeds []ipaddr.Addr, cfg RunConfig) (*RunResult, error) {
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("tga: budget must be positive, got %d", cfg.Budget)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4096
+	}
+	if err := g.Init(sortedCopy(seeds)); err != nil {
+		return nil, fmt.Errorf("tga: init %s: %w", g.Name(), err)
+	}
+
+	seedSet := ipaddr.NewSet()
+	if cfg.ExcludeSeeds {
+		seedSet.AddAll(seeds)
+	}
+	generated := ipaddr.NewSetCap(cfg.Budget)
+	res := &RunResult{Generator: g.Name(), Proto: cfg.Proto}
+
+	idleRounds := 0
+	for generated.Len() < cfg.Budget {
+		// Always request a full batch, even when little budget remains:
+		// tiny requests starve on seed-or-duplicate candidates (a 1-seed
+		// leaf's first enumeration is the seed itself). Extras beyond the
+		// budget are discarded.
+		batch := g.NextBatch(cfg.BatchSize)
+		if len(batch) == 0 {
+			res.Exhausted = true
+			break
+		}
+		rem := cfg.Budget - generated.Len()
+		fresh := make([]ipaddr.Addr, 0, len(batch))
+		for _, a := range batch {
+			if len(fresh) >= rem {
+				break
+			}
+			if cfg.ExcludeSeeds && seedSet.Contains(a) {
+				continue
+			}
+			if generated.Add(a) {
+				fresh = append(fresh, a)
+			}
+		}
+		if len(fresh) == 0 {
+			// The generator is looping over already-produced addresses.
+			idleRounds++
+			if idleRounds > 64 {
+				res.Exhausted = true
+				break
+			}
+			continue
+		}
+		idleRounds = 0
+
+		if cfg.Prober == nil {
+			continue
+		}
+		results := cfg.Prober.Scan(fresh, cfg.Proto)
+		var active []ipaddr.Addr
+		for _, r := range results {
+			if r.Active() {
+				active = append(active, r.Addr)
+			}
+		}
+		clean, aliased := active, []ipaddr.Addr(nil)
+		if cfg.Dealiaser != nil {
+			clean, aliased = cfg.Dealiaser.Split(active)
+		}
+		res.Hits = append(res.Hits, clean...)
+		res.AliasedHits = append(res.AliasedHits, aliased...)
+
+		if g.Online() {
+			aliasSet := ipaddr.NewSet(aliased...)
+			fb := make([]ProbeResult, len(results))
+			for i, r := range results {
+				fb[i] = ProbeResult{
+					Addr:    r.Addr,
+					Active:  r.Active(),
+					Aliased: aliasSet.Contains(r.Addr),
+				}
+			}
+			g.Feedback(fb)
+		}
+	}
+	res.Generated = generated.Len()
+	return res, nil
+}
+
+// sortedCopy hands generators their seeds in a canonical order. Several
+// algorithms are seed-order-sensitive (6Sense's arm creation, 6Gen's
+// greedy clustering), and callers often produce seed slices from map-
+// backed sets whose order varies run to run; sorting here keeps every
+// run reproducible without burdening generators.
+func sortedCopy(seeds []ipaddr.Addr) []ipaddr.Addr {
+	out := append([]ipaddr.Addr(nil), seeds...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Generate runs g without scanning and returns up to budget unique
+// candidates — useful for offline analysis and tests.
+func Generate(g Generator, seeds []ipaddr.Addr, budget int) ([]ipaddr.Addr, error) {
+	if err := g.Init(sortedCopy(seeds)); err != nil {
+		return nil, err
+	}
+	out := ipaddr.NewSetCap(budget)
+	idle := 0
+	for out.Len() < budget {
+		batch := g.NextBatch(budget - out.Len())
+		if len(batch) == 0 {
+			break
+		}
+		before := out.Len()
+		out.AddAll(batch)
+		if out.Len() == before {
+			idle++
+			if idle > 64 {
+				break
+			}
+		} else {
+			idle = 0
+		}
+	}
+	return out.Slice(), nil
+}

@@ -1,0 +1,252 @@
+package tga
+
+import (
+	"testing"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
+)
+
+func seedsFrom(ss ...string) []ipaddr.Addr {
+	out := make([]ipaddr.Addr, len(ss))
+	for i, s := range ss {
+		out[i] = ipaddr.MustParse(s)
+	}
+	return out
+}
+
+func TestObservedMasks(t *testing.T) {
+	seeds := seedsFrom("2001:db8::1", "2001:db8::2")
+	m := ObservedMasks(seeds)
+	if m[31] != 1<<1|1<<2 {
+		t.Fatalf("mask[31] = %x", m[31])
+	}
+	if m[0] != 1<<2 {
+		t.Fatalf("mask[0] = %x", m[0])
+	}
+}
+
+func TestPositionEntropy(t *testing.T) {
+	seeds := seedsFrom("2001:db8::1", "2001:db8::2", "2001:db8::3", "2001:db8::4")
+	h := PositionEntropy(seeds)
+	if h[0] != 0 {
+		t.Fatalf("fixed position entropy = %v", h[0])
+	}
+	if h[31] != 2 { // four equiprobable values
+		t.Fatalf("h[31] = %v, want 2", h[31])
+	}
+	var empty [0]ipaddr.Addr
+	_ = empty
+	if got := PositionEntropy(nil); got[0] != 0 {
+		t.Fatal("entropy of empty seeds must be zero")
+	}
+}
+
+func TestMaskEnumOdometer(t *testing.T) {
+	var values [ipaddr.NybbleCount][]byte
+	for i := range values {
+		values[i] = []byte{0}
+	}
+	values[31] = []byte{1, 2}
+	values[30] = []byte{0, 5}
+	e := newMaskEnum(values)
+	var got []ipaddr.Addr
+	for {
+		a, ok := e.next()
+		if !ok {
+			break
+		}
+		got = append(got, a)
+	}
+	if len(got) != 4 {
+		t.Fatalf("enumerated %d, want 4", len(got))
+	}
+	// Least significant varies fastest.
+	if got[0] != ipaddr.MustParse("::1") || got[1] != ipaddr.MustParse("::2") ||
+		got[2] != ipaddr.MustParse("::51") || got[3] != ipaddr.MustParse("::52") {
+		t.Fatalf("order wrong: %v", got)
+	}
+}
+
+func TestLeafGenNoDuplicatesAndWidens(t *testing.T) {
+	seeds := seedsFrom("2001:db8::11", "2001:db8::12", "2001:db8::21")
+	masks := ObservedMasks(seeds)
+	g := NewLeafGen(masks, nil)
+	seen := ipaddr.NewSet()
+	n := 0
+	for n < 500 {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		if !seen.Add(a) {
+			t.Fatalf("duplicate %v after %d", a, n)
+		}
+		n++
+	}
+	// Initial product is 2x2=4; widening must carry it well beyond.
+	if n < 100 {
+		t.Fatalf("generated only %d", n)
+	}
+}
+
+func TestLeafGenExhaustsFullyWidenedSpace(t *testing.T) {
+	// Fix everything except position 31: space is at most 16.
+	var masks [ipaddr.NybbleCount]ValueMask
+	for i := range masks {
+		masks[i] = 1 << 0
+	}
+	masks[31] = 1 << 5
+	g := NewLeafGen(masks, []int{31})
+	count := 0
+	for {
+		_, ok := g.Next()
+		if !ok {
+			break
+		}
+		count++
+		if count > 16 {
+			t.Fatal("generated more than the space allows")
+		}
+	}
+	if count != 16 {
+		t.Fatalf("generated %d, want 16", count)
+	}
+}
+
+func TestBuildTreeShape(t *testing.T) {
+	seeds := seedsFrom(
+		"2001:db8:a::1", "2001:db8:a::2", "2001:db8:a::3",
+		"2001:db8:b::1", "2001:db8:b::2",
+	)
+	root := BuildTree(seeds, 1, SplitLeftmost)
+	leaves := root.Leaves()
+	if len(leaves) < 2 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	total := 0
+	for _, l := range leaves {
+		total += len(l.Seeds)
+		if !l.IsLeaf() || l.Gen == nil {
+			t.Fatal("leaf not initialized")
+		}
+	}
+	if total != len(seeds) {
+		t.Fatalf("leaves cover %d seeds, want %d", total, len(seeds))
+	}
+	if root.CountNodes() < 3 {
+		t.Fatalf("nodes = %d", root.CountNodes())
+	}
+}
+
+func TestSplitHeuristics(t *testing.T) {
+	seeds := seedsFrom("2001:db8:a::1", "2001:db8:b::2", "2001:db8:a::3")
+	if got := SplitLeftmost(seeds, []int{11, 31}); got != 11 {
+		t.Fatalf("leftmost = %d", got)
+	}
+	if got := SplitLeftmost(seeds, nil); got != -1 {
+		t.Fatal("leftmost on no candidates should be -1")
+	}
+	// Position 11 has 2 values {a,b} with seed counts 2/1 → entropy ~0.918;
+	// position 31 has 3 values → entropy ~1.585. Min-entropy picks 11.
+	if got := SplitMinEntropy(seeds, []int{11, 31}); got != 11 {
+		t.Fatalf("min-entropy = %d", got)
+	}
+}
+
+func TestNodeRewardAndDensity(t *testing.T) {
+	n := &TreeNode{}
+	if got := n.Reward(); got != 0.5 {
+		t.Fatalf("prior reward = %v", got)
+	}
+	n.Probes, n.Hits = 100, 50
+	if got := n.Reward(); got < 0.49 || got > 0.51 {
+		t.Fatalf("reward = %v", got)
+	}
+}
+
+// staticGen is a trivial generator for driver tests.
+type staticGen struct {
+	addrs []ipaddr.Addr
+	i     int
+	fb    int
+}
+
+func (g *staticGen) Name() string                   { return "static" }
+func (g *staticGen) Online() bool                   { return true }
+func (g *staticGen) Init(seeds []ipaddr.Addr) error { return nil }
+func (g *staticGen) Feedback(rs []ProbeResult)      { g.fb += len(rs) }
+func (g *staticGen) NextBatch(n int) []ipaddr.Addr {
+	if g.i >= len(g.addrs) {
+		return nil
+	}
+	end := g.i + n
+	if end > len(g.addrs) {
+		end = len(g.addrs)
+	}
+	out := g.addrs[g.i:end]
+	g.i = end
+	return out
+}
+
+// nullProber marks everything silent.
+type nullProber struct{ calls int }
+
+func (p *nullProber) Scan(ts []ipaddr.Addr, pr proto.Protocol) []scanner.Result {
+	p.calls++
+	out := make([]scanner.Result, len(ts))
+	for i, a := range ts {
+		out[i] = scanner.Result{Addr: a, Proto: pr}
+	}
+	return out
+}
+
+func TestRunBudgetAndDedup(t *testing.T) {
+	var addrs []ipaddr.Addr
+	base := ipaddr.MustParse("2001:db8::")
+	for i := 0; i < 100; i++ {
+		addrs = append(addrs, base.AddLo(uint64(i%50))) // 50 unique, repeated
+	}
+	g := &staticGen{addrs: addrs}
+	pr := &nullProber{}
+	res, err := Run(g, nil, RunConfig{Budget: 40, BatchSize: 16, Prober: pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != 40 {
+		t.Fatalf("generated = %d", res.Generated)
+	}
+	if g.fb == 0 {
+		t.Fatal("online generator got no feedback")
+	}
+}
+
+func TestRunExhaustion(t *testing.T) {
+	g := &staticGen{addrs: seedsFrom("::1", "::2")}
+	res, err := Run(g, nil, RunConfig{Budget: 100, Prober: &nullProber{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted || res.Generated != 2 {
+		t.Fatalf("exhausted=%v generated=%d", res.Exhausted, res.Generated)
+	}
+}
+
+func TestRunExcludesSeeds(t *testing.T) {
+	seeds := seedsFrom("::1", "::2")
+	g := &staticGen{addrs: seedsFrom("::1", "::2", "::3")}
+	res, err := Run(g, seeds, RunConfig{Budget: 10, Prober: &nullProber{}, ExcludeSeeds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != 1 {
+		t.Fatalf("generated = %d, want 1 (seeds excluded)", res.Generated)
+	}
+}
+
+func TestRunRejectsBadBudget(t *testing.T) {
+	if _, err := Run(&staticGen{}, nil, RunConfig{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package tga
+
+import (
+	"math/bits"
+	"sort"
+
+	"seedscan/internal/ipaddr"
+)
+
+// SplitHeuristic picks the nybble position a tree node splits on, from the
+// candidate positions (those with more than one observed value). Returning
+// -1 makes the node a leaf.
+type SplitHeuristic func(seeds []ipaddr.Addr, candidates []int) int
+
+// SplitLeftmost is 6Tree's divisive hierarchical clustering order: split on
+// the most significant varying nybble, mirroring allocation hierarchy.
+func SplitLeftmost(seeds []ipaddr.Addr, candidates []int) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[0]
+}
+
+// SplitMinEntropy is DET/6Graph's heuristic: split where the value
+// distribution has the least (nonzero) entropy, isolating the strongest
+// structure first.
+func SplitMinEntropy(seeds []ipaddr.Addr, candidates []int) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	h := PositionEntropy(seeds)
+	best, bestH := -1, 0.0
+	for _, c := range candidates {
+		if best == -1 || h[c] < bestH {
+			best, bestH = c, h[c]
+		}
+	}
+	return best
+}
+
+// TreeNode is one node of a space tree. Leaves carry the pattern masks and
+// per-leaf online statistics.
+type TreeNode struct {
+	Seeds    []ipaddr.Addr
+	SplitPos int
+	Children []*TreeNode
+
+	// Leaf state.
+	Masks [ipaddr.NybbleCount]ValueMask
+	Gen   *LeafGen
+
+	// Online statistics, updated by adaptive generators.
+	Probes int
+	Hits   int
+	Alias  int
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *TreeNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Density is the seed density of the leaf's initial pattern space.
+func (n *TreeNode) Density() float64 {
+	size := MaskSize(n.Masks)
+	if size == 0 {
+		return 0
+	}
+	return float64(len(n.Seeds)) / size
+}
+
+// Reward is the smoothed online hit rate used by adaptive generators.
+func (n *TreeNode) Reward() float64 {
+	return (float64(n.Hits) + 1) / (float64(n.Probes) + 2)
+}
+
+// BuildTree grows a space tree over the seeds: each node splits on the
+// position chosen by h until minLeaf seeds or no varying position remains.
+// Every leaf gets its observed-value masks and a LeafGen.
+func BuildTree(seeds []ipaddr.Addr, minLeaf int, h SplitHeuristic) *TreeNode {
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	root := &TreeNode{Seeds: seeds}
+	build(root, minLeaf, h, 0)
+	return root
+}
+
+// prefixPositions is how many leading nybbles are always fully split:
+// top-level allocations (distinct /32s) must never share a leaf, or merged
+// patterns would generate into address space no seed came from.
+const prefixPositions = 8
+
+func build(n *TreeNode, minLeaf int, h SplitHeuristic, depth int) {
+	masks := ObservedMasks(n.Seeds)
+	var prefixCandidates []int
+	for i := 0; i < prefixPositions; i++ {
+		if bits.OnesCount16(masks[i]) > 1 {
+			prefixCandidates = append(prefixCandidates, i)
+		}
+	}
+	if len(prefixCandidates) == 0 && (len(n.Seeds) <= minLeaf || depth >= ipaddr.NybbleCount) {
+		makeLeaf(n, masks)
+		return
+	}
+	var candidates []int
+	if len(prefixCandidates) > 0 {
+		candidates = prefixCandidates
+	} else {
+		for i, m := range masks {
+			if bits.OnesCount16(m) > 1 {
+				candidates = append(candidates, i)
+			}
+		}
+	}
+	pos := h(n.Seeds, candidates)
+	if pos < 0 {
+		makeLeaf(n, masks)
+		return
+	}
+	groups := make(map[byte][]ipaddr.Addr)
+	for _, a := range n.Seeds {
+		v := a.Nybble(pos)
+		groups[v] = append(groups[v], a)
+	}
+	if len(groups) <= 1 {
+		makeLeaf(n, masks)
+		return
+	}
+	n.SplitPos = pos
+	vals := make([]int, 0, len(groups))
+	for v := range groups {
+		vals = append(vals, int(v))
+	}
+	sort.Ints(vals)
+	for _, v := range vals {
+		child := &TreeNode{Seeds: groups[byte(v)]}
+		build(child, minLeaf, h, depth+1)
+		n.Children = append(n.Children, child)
+	}
+}
+
+func makeLeaf(n *TreeNode, masks [ipaddr.NybbleCount]ValueMask) {
+	n.SplitPos = -1
+	n.Masks = masks
+	n.Gen = NewLeafGen(masks, nil)
+}
+
+// Leaves returns the leaves in DHC (depth-first, value-sorted) order.
+func (n *TreeNode) Leaves() []*TreeNode {
+	var out []*TreeNode
+	var walk func(*TreeNode)
+	walk = func(x *TreeNode) {
+		if x.IsLeaf() {
+			out = append(out, x)
+			return
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// CountNodes returns the total node count.
+func (n *TreeNode) CountNodes() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}

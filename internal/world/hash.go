@@ -1,0 +1,44 @@
+package world
+
+// Deterministic hashing underpins the entire simulation: whether an address
+// exists, which protocols it listens on, whether it churns away between the
+// seed-collection and scan epochs, and whether an individual probe is lost
+// are all pure functions of (world seed, address, tag). This lets the world
+// answer membership queries over the 2^128 address space without enumerating
+// anything, and makes every experiment reproducible.
+
+// Tags namespace the independent random decisions per address.
+const (
+	tagExists uint64 = iota + 1
+	tagProto
+	tagChurn
+	tagBirth
+	tagLoss
+	tagRST
+	tagUnreach
+	tagRate
+	tagTCPSeq
+)
+
+// splitmix64 is the finalizer from Vigna's SplitMix64 generator; it is a
+// strong 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// mix64 folds any number of 64-bit values into one well-mixed value.
+func mix64(vals ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,15 @@
+package world
+
+// WireLink adapts the world to the scanner's Link interface: every packet
+// sent is handled synchronously by the responder, and the replies come
+// back as received packets. It is the in-process stand-in for a raw
+// socket.
+type WireLink struct {
+	w *World
+}
+
+// Link returns the world's wire.
+func (w *World) Link() *WireLink { return &WireLink{w: w} }
+
+// Exchange sends one packet into the world and returns any replies.
+func (l *WireLink) Exchange(pkt []byte) [][]byte { return l.w.HandlePacket(pkt) }

@@ -1,0 +1,135 @@
+package world
+
+import (
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/probe"
+	"seedscan/internal/proto"
+)
+
+// HandlePacket is the world's network interface: it receives one raw IPv6
+// probe and returns zero or one raw reply packets, exactly as the live
+// Internet would answer a Scanv6 probe. Replies include Echo Replies,
+// SYN-ACKs, RSTs (closed ports on live hosts), DNS responses, and ICMP
+// Destination Unreachables from region routers; per the paper's
+// methodology the scanner counts only the first three kinds of positive
+// response as hits.
+//
+// Loss and rate limiting are deterministic functions of the probe's
+// destination and its varying cookie field, so retries genuinely re-roll.
+// HandlePacket is safe for concurrent use.
+func (w *World) HandlePacket(pkt []byte) [][]byte {
+	p, err := probe.Parse(pkt)
+	if err != nil {
+		return nil // the Internet silently drops malformed probes
+	}
+	dst := p.Header.Dst
+	r, ok := w.RegionOf(dst)
+	if !ok {
+		return nil // unrouted: silence
+	}
+	epoch := w.Epoch()
+
+	switch p.Kind {
+	case probe.KindEchoRequest:
+		return w.answerEcho(p, r, dst, epoch)
+	case probe.KindTCPSyn:
+		return w.answerSyn(p, r, dst, epoch, pkt)
+	case probe.KindDNSQuery:
+		return w.answerDNS(p, r, dst, epoch, pkt)
+	}
+	return nil
+}
+
+// delivered applies transit loss and the region's response rate. The vary
+// value must change across retries (the scanner varies its cookie field).
+func (w *World) delivered(r *Region, dst ipaddr.Addr, pr proto.Protocol, vary uint64) bool {
+	if unit(mix64(w.seed, tagLoss, dst.Hi(), dst.Lo(), uint64(pr), vary)) < w.lossRate {
+		return false
+	}
+	if r.RespRate < 1 &&
+		unit(mix64(w.seed, tagRate, dst.Hi(), dst.Lo(), uint64(pr), vary)) >= r.RespRate {
+		return false
+	}
+	return true
+}
+
+func (w *World) answerEcho(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int) [][]byte {
+	if !w.delivered(r, dst, proto.ICMP, uint64(p.EchoSeq)) {
+		return nil
+	}
+	if w.activeOn(dst, r, proto.ICMP, epoch) {
+		reply := probe.BuildEchoReply(dst, p.Header.Src, p.EchoID, p.EchoSeq, p.Payload)
+		return [][]byte{reply}
+	}
+	if !w.existsAt(dst, r, epoch) &&
+		unit(mix64(w.seed, tagUnreach, dst.Hi(), dst.Lo())) < r.SendsUnreach {
+		un := probe.BuildUnreachable(r.RouterAddr(), p.Header.Src, probe.UnreachAddr, echoInvoking(p))
+		return [][]byte{un}
+	}
+	return nil
+}
+
+// echoInvoking reconstructs enough of the invoking packet for the
+// unreachable quote.
+func echoInvoking(p probe.Packet) []byte {
+	return probe.BuildEchoRequest(p.Header.Src, p.Header.Dst, p.EchoID, p.EchoSeq, p.Payload)
+}
+
+func (w *World) answerSyn(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int, raw []byte) [][]byte {
+	var pr proto.Protocol
+	switch p.DstPort {
+	case 80:
+		pr = proto.TCP80
+	case 443:
+		pr = proto.TCP443
+	default:
+		// Port outside the study: a live host may RST, otherwise silence.
+		if w.existsAt(dst, r, epoch) &&
+			unit(mix64(w.seed, tagRST, dst.Hi(), dst.Lo(), uint64(p.DstPort))) < r.SendsRST {
+			rst := probe.BuildTCPRst(dst, p.Header.Src, p.DstPort, p.SrcPort, 0, p.TCPSeq+1)
+			return [][]byte{rst}
+		}
+		return nil
+	}
+	if !w.delivered(r, dst, pr, uint64(p.TCPSeq)) {
+		return nil
+	}
+	if w.activeOn(dst, r, pr, epoch) {
+		seq := uint32(mix64(w.seed, tagTCPSeq, dst.Hi(), dst.Lo(), uint64(p.TCPSeq)))
+		sa := probe.BuildTCPSynAck(dst, p.Header.Src, p.DstPort, p.SrcPort, seq, p.TCPSeq+1)
+		return [][]byte{sa}
+	}
+	if w.existsAt(dst, r, epoch) {
+		// Live host, closed port: RST per the region's firewalling habits.
+		if unit(mix64(w.seed, tagRST, dst.Hi(), dst.Lo(), uint64(p.DstPort))) < r.SendsRST {
+			rst := probe.BuildTCPRst(dst, p.Header.Src, p.DstPort, p.SrcPort, 0, p.TCPSeq+1)
+			return [][]byte{rst}
+		}
+		return nil
+	}
+	if unit(mix64(w.seed, tagUnreach, dst.Hi(), dst.Lo())) < r.SendsUnreach {
+		un := probe.BuildUnreachable(r.RouterAddr(), p.Header.Src, probe.UnreachAddr, raw)
+		return [][]byte{un}
+	}
+	return nil
+}
+
+func (w *World) answerDNS(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int, raw []byte) [][]byte {
+	if p.DstPort != 53 {
+		return nil
+	}
+	if !w.delivered(r, dst, proto.UDP53, uint64(p.DNSID)) {
+		return nil
+	}
+	if w.activeOn(dst, r, proto.UDP53, epoch) {
+		resp := probe.BuildDNSResponse(dst, p.Header.Src, p.SrcPort, p.DNSID, p.Payload)
+		return [][]byte{resp}
+	}
+	if w.existsAt(dst, r, epoch) &&
+		unit(mix64(w.seed, tagUnreach, dst.Hi(), dst.Lo(), uint64(p.DstPort))) < r.SendsUnreach {
+		// Live host without a resolver: ICMP port unreachable from the host.
+		un := probe.BuildUnreachable(dst, p.Header.Src, probe.UnreachPort, raw)
+		return [][]byte{un}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package world
+
+import (
+	"strings"
+	"testing"
+
+	"seedscan/internal/proto"
+)
+
+func TestStatsShape(t *testing.T) {
+	w := smallWorld(t)
+	s := w.Stats()
+	if s.ASes != w.ASDB().Len() {
+		t.Fatalf("ASes = %d", s.ASes)
+	}
+	if s.Regions != len(w.Regions()) {
+		t.Fatalf("Regions = %d", s.Regions)
+	}
+	if s.AliasedRegions != len(w.AliasedPrefixes()) {
+		t.Fatalf("AliasedRegions = %d", s.AliasedRegions)
+	}
+	if s.ExpectedHosts <= 0 {
+		t.Fatal("no expected hosts")
+	}
+	// ICMP dominates TCP and UDP in expectation, like the live Internet.
+	if s.ExpectedActive[proto.ICMP] <= s.ExpectedActive[proto.TCP80] ||
+		s.ExpectedActive[proto.ICMP] <= s.ExpectedActive[proto.UDP53] {
+		t.Fatalf("expected actives: %v", s.ExpectedActive)
+	}
+	// Dark space exists and is a minority.
+	if s.DarkHosts <= 0 || s.DarkHosts >= s.ExpectedHosts/2 {
+		t.Fatalf("dark hosts = %.0f of %.0f", s.DarkHosts, s.ExpectedHosts)
+	}
+	// Every class with regions appears.
+	if s.ByClass[ClassRouter].Regions == 0 || s.ByClass[ClassISPCustomer].Regions == 0 {
+		t.Fatal("class breakdown missing core classes")
+	}
+	out := s.String()
+	for _, want := range []string{"ASes", "Router", "expected ICMP-active"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEstimateActiveFractionMatchesDensity(t *testing.T) {
+	w := smallWorld(t)
+	for _, r := range w.Regions() {
+		if r.Aliased || r.Class != ClassISPCustomer {
+			continue
+		}
+		want := r.Density * r.Resp[proto.ICMP]
+		got := w.EstimateActiveFraction(r, proto.ICMP, CollectEpoch, 4000, 9)
+		if got < want-0.06 || got > want+0.06 {
+			t.Fatalf("region %v: measured %.3f, configured %.3f", r, got, want)
+		}
+		return // one Monte-Carlo check is enough
+	}
+	t.Fatal("no customer region found")
+}
+
+func TestEstimateActiveFractionZeroSamples(t *testing.T) {
+	w := smallWorld(t)
+	if got := w.EstimateActiveFraction(w.Regions()[0], proto.ICMP, 0, 0, 1); got != 0 {
+		t.Fatalf("zero samples = %v", got)
+	}
+}
+
+func TestRegionsByASN(t *testing.T) {
+	w := smallWorld(t)
+	r0 := w.Regions()[0]
+	got := w.RegionsByASN(r0.ASN)
+	if len(got) == 0 {
+		t.Fatal("no regions for known ASN")
+	}
+	for _, r := range got {
+		if r.ASN != r0.ASN {
+			t.Fatal("wrong ASN in result")
+		}
+	}
+	if len(w.RegionsByASN(-1)) != 0 {
+		t.Fatal("regions for bogus ASN")
+	}
+}

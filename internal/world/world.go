@@ -1,0 +1,162 @@
+// Package world implements the synthetic IPv6 Internet the study scans.
+//
+// The live Internet is replaced by a deterministic model: autonomous
+// systems announce prefixes, prefixes contain regions (routers, ISP
+// customer blocks, web farms, CDN nodes, DNS farms, aliased slabs), and a
+// region decides — as a pure function of the world seed and the address —
+// whether any given address exists, which of ICMP/TCP80/TCP443/UDP53 it
+// listens on, whether it churns away between the seed-collection epoch and
+// the scan epoch, and how its network answers probes (SYN-ACKs, RSTs,
+// unreachables, rate-limited silence).
+//
+// Because every decision is a hash of (seed, address, tag), the world
+// answers membership queries over the 2^128 space in O(prefix-depth) with
+// no enumeration, scans are reproducible, and the structure TGAs exploit in
+// the wild — hierarchical pattern locality, per-port service skew, aliases
+// clustered near dense patterns — is present by construction.
+package world
+
+import (
+	"sync/atomic"
+
+	"seedscan/internal/asdb"
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+)
+
+// Epochs: seeds are collected at CollectEpoch; experiments scan at
+// ScanEpoch. Churn and birth happen in between.
+const (
+	CollectEpoch = 0
+	ScanEpoch    = 1
+)
+
+// World is the simulated Internet. Safe for concurrent use; the only
+// mutable state is the current epoch.
+type World struct {
+	seed     uint64
+	regions  []*Region
+	trie     *ipaddr.Trie // Prefix -> *Region (longest match wins)
+	asdb     *asdb.DB
+	lossRate float64
+	epoch    atomic.Int32
+}
+
+// ASDB returns the AS registry backing the world.
+func (w *World) ASDB() *asdb.DB { return w.asdb }
+
+// Regions returns all regions. Callers must not mutate them.
+func (w *World) Regions() []*Region { return w.regions }
+
+// Seed returns the world seed.
+func (w *World) Seed() uint64 { return w.seed }
+
+// SetEpoch switches the world clock: CollectEpoch while gathering seeds,
+// ScanEpoch while running experiments.
+func (w *World) SetEpoch(e int) { w.epoch.Store(int32(e)) }
+
+// Epoch returns the current epoch.
+func (w *World) Epoch() int { return int(w.epoch.Load()) }
+
+// RegionOf returns the deepest region containing a.
+func (w *World) RegionOf(a ipaddr.Addr) (*Region, bool) {
+	v, ok := w.trie.Lookup(a)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Region), true
+}
+
+// existsAt reports whether address a inside region r is an existing host at
+// the given epoch, applying density, churn, and birth.
+func (w *World) existsAt(a ipaddr.Addr, r *Region, epoch int) bool {
+	if r.Aliased {
+		return true
+	}
+	if !r.Template.Matches(a) {
+		return false
+	}
+	u := unit(mix64(w.seed, tagExists, a.Hi(), a.Lo()))
+	exists0 := u < r.Density
+	if epoch <= CollectEpoch {
+		return exists0
+	}
+	if exists0 {
+		churned := unit(mix64(w.seed, tagChurn, a.Hi(), a.Lo())) < r.Churn
+		return !churned
+	}
+	// Born between epochs: the band just above the density cut.
+	return u < r.Density*(1+r.Birth)
+}
+
+// ExistsAt reports whether a is an existing host at the given epoch.
+func (w *World) ExistsAt(a ipaddr.Addr, epoch int) bool {
+	r, ok := w.RegionOf(a)
+	if !ok {
+		return false
+	}
+	return w.existsAt(a, r, epoch)
+}
+
+// ActiveOn reports whether a answers probes on p at the given epoch. This
+// is the ground truth the scanner observes (modulo loss and rate limits).
+func (w *World) ActiveOn(a ipaddr.Addr, p proto.Protocol, epoch int) bool {
+	r, ok := w.RegionOf(a)
+	if !ok {
+		return false
+	}
+	return w.activeOn(a, r, p, epoch)
+}
+
+func (w *World) activeOn(a ipaddr.Addr, r *Region, p proto.Protocol, epoch int) bool {
+	if r.Aliased {
+		return r.Resp[p] > 0.5
+	}
+	if !w.existsAt(a, r, epoch) {
+		return false
+	}
+	return unit(mix64(w.seed, tagProto, a.Hi(), a.Lo(), uint64(p))) < r.Resp[p]
+}
+
+// ActiveOnAny reports whether a answers on at least one studied protocol.
+func (w *World) ActiveOnAny(a ipaddr.Addr, epoch int) bool {
+	r, ok := w.RegionOf(a)
+	if !ok {
+		return false
+	}
+	if r.Aliased {
+		return true
+	}
+	if !w.existsAt(a, r, epoch) {
+		return false
+	}
+	for _, p := range proto.All {
+		if unit(mix64(w.seed, tagProto, a.Hi(), a.Lo(), uint64(p))) < r.Resp[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsAliased reports whether a falls inside an aliased region — the ground
+// truth dealiasers try to recover.
+func (w *World) IsAliased(a ipaddr.Addr) bool {
+	r, ok := w.RegionOf(a)
+	return ok && r.Aliased
+}
+
+// AliasedPrefixes returns the ground-truth aliased prefixes. The offline
+// alias list (internal/alias) is built from a subset of these, modelling
+// the IPv6 Hitlist's incomplete published list.
+func (w *World) AliasedPrefixes() []ipaddr.Prefix {
+	var out []ipaddr.Prefix
+	for _, r := range w.regions {
+		if r.Aliased {
+			out = append(out, r.Prefix)
+		}
+	}
+	return out
+}
+
+// ASNOf returns the AS number originating a.
+func (w *World) ASNOf(a ipaddr.Addr) (int, bool) { return w.asdb.Lookup(a) }
