@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet test race bench cover experiments clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The telemetry registry, tracer, scanner, and experiment grids are
+# exercised concurrently; the race detector is the tier-1 gate for them.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# A small end-to-end smoke run: the quickstart with a JSONL trace.
+smoke:
+	$(GO) run ./examples/quickstart -trace /tmp/seedscan-trace.jsonl
+	@head -3 /tmp/seedscan-trace.jsonl
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+clean:
+	rm -f cover.out

@@ -19,7 +19,9 @@ import (
 	"seedscan/internal/experiment"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
 	"seedscan/internal/seeds"
+	"seedscan/internal/telemetry"
 	"seedscan/internal/tga/all"
 )
 
@@ -334,4 +336,55 @@ func BenchmarkAblation_DealiasProbeCost(b *testing.B) {
 			b.ReportMetric(float64(len(clean)), "clean")
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead quantifies what instrumentation costs: the
+// same scan with a wired registry, with the default (nil, no-op)
+// telemetry, and the registry/span primitives in isolation. Wiring should
+// cost a few percent at most; the nil path should be free.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	e := benchEnv()
+	targets := e.AllActiveSeeds().Slice()
+	if len(targets) > 4000 {
+		targets = targets[:4000]
+	}
+	b.Run("scan-no-telemetry", func(b *testing.B) {
+		s := scanner.New(e.World.Link(), scanner.WithSecret(11))
+		for i := 0; i < b.N; i++ {
+			s.Scan(targets, proto.ICMP)
+		}
+	})
+	b.Run("scan-with-telemetry", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		s := scanner.New(e.World.Link(), scanner.WithSecret(11), scanner.WithTelemetry(reg))
+		for i := 0; i < b.N; i++ {
+			s.Scan(targets, proto.ICMP)
+		}
+	})
+	b.Run("counter-inc", func(b *testing.B) {
+		c := telemetry.NewRegistry().Counter("bench.counter")
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("counter-inc-nil", func(b *testing.B) {
+		var c *telemetry.Counter
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("span-start-end", func(b *testing.B) {
+		tr := telemetry.NewTracer(nil)
+		for i := 0; i < b.N; i++ {
+			tr.StartSpan("bench", nil).End()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := telemetry.NewRegistry().Histogram("bench.hist")
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i % 1000))
+		}
+	})
 }

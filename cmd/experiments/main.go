@@ -13,15 +13,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"seedscan/internal/experiment"
 	"seedscan/internal/proto"
 	"seedscan/internal/seeds"
+	"seedscan/internal/telemetry"
 	"seedscan/internal/tga/all"
 )
 
@@ -32,6 +35,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "world seed")
 	runList := flag.String("run", "all", "comma-separated experiments to run")
 	protosFlag := flag.String("protos", "icmp", "protocols for the TGA sweeps (comma-separated, or 'all')")
+	trace := flag.String("trace", "", "write a JSONL telemetry event log to this file")
+	metrics := flag.Bool("metrics", false, "print final metric values on exit")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -63,8 +68,21 @@ func main() {
 	fmt.Printf("# seedscan experiments — budget=%d ases=%d scale=%g seed=%d\n\n",
 		*budget, *ases, *scale, *seed)
 
+	var sinks []telemetry.Sink
+	if *trace != "" {
+		s, err := telemetry.CreateJSONLFile(*trace)
+		check(err)
+		sinks = append(sinks, s)
+	}
+	tr := telemetry.NewTracer(nil, sinks...)
+	closeTrace = func() { tr.Close() }
+	defer tr.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	env := experiment.NewEnv(experiment.EnvConfig{
 		WorldSeed: *seed, NumASes: *ases, CollectScale: *scale, Budget: *budget,
+		Telemetry: tr,
 	})
 	fmt.Printf("world: %d regions, %d ASes, %d ground-truth aliased prefixes (%d listed offline)\n",
 		len(env.World.Regions()), env.World.ASDB().Len(),
@@ -96,23 +114,23 @@ func main() {
 		fmt.Println(experiment.RenderOverlap("Figure 2b: responsive overlap by AS", ases))
 	}
 	if sel("fig3") {
-		res, err := env.RunRQ1a(protos, gens, *budget)
+		res, err := env.RunRQ1aCtx(ctx, protos, gens, *budget)
 		check(err)
 		fmt.Println(res.Render())
 		fmt.Println(res.RenderFigure())
 	}
 	if sel("table4") {
-		res, err := env.RunTable4(gens, *budget)
+		res, err := env.RunTable4Ctx(ctx, gens, *budget)
 		check(err)
 		fmt.Println(res.Render())
 	}
 	if sel("fig4") {
-		res, err := env.RunRQ1b(protos, gens, *budget)
+		res, err := env.RunRQ1bCtx(ctx, protos, gens, *budget)
 		check(err)
 		fmt.Println(res.Render())
 	}
 	if sel("fig5") {
-		res, err := env.RunRQ2(protos, gens, *budget)
+		res, err := env.RunRQ2Ctx(ctx, protos, gens, *budget)
 		check(err)
 		fmt.Println(res.Render())
 		fmt.Println(res.RenderFigure())
@@ -120,11 +138,11 @@ func main() {
 	var rq3 *experiment.RQ3Result
 	if sel("table5") || sel("table6") || sel("raw") {
 		var err error
-		rq3, err = env.RunRQ3(protos, gens, seeds.AllSources, *budget/4)
+		rq3, err = env.RunRQ3Ctx(ctx, protos, gens, seeds.AllSources, *budget/4)
 		check(err)
 	}
 	if sel("table5") {
-		res, err := env.RunTable5(rq3)
+		res, err := env.RunTable5Ctx(ctx, rq3)
 		check(err)
 		fmt.Println(res.Render())
 	}
@@ -137,7 +155,7 @@ func main() {
 		}
 	}
 	if sel("fig6") {
-		res, err := env.RunRQ4(protos, gens, *budget)
+		res, err := env.RunRQ4Ctx(ctx, protos, gens, *budget)
 		check(err)
 		fmt.Println(res.Render())
 		for _, p := range protos {
@@ -145,17 +163,17 @@ func main() {
 		}
 	}
 	if sel("fig7") {
-		res, err := env.RunCrossPort(gens, *budget/4)
+		res, err := env.RunCrossPortCtx(ctx, gens, *budget/4)
 		check(err)
 		fmt.Println(res.Render())
 	}
 	if sel("rq5") {
-		recs, err := env.RunRecommendations(gens, *budget)
+		recs, err := env.RunRecommendationsCtx(ctx, gens, *budget)
 		check(err)
 		fmt.Println(experiment.RenderRecommendations(recs))
 	}
 	if sel("raw912") {
-		grid, err := env.RunRawGrid(protos, gens, nil, *budget)
+		grid, err := env.RunRawGridCtx(ctx, protos, gens, nil, *budget)
 		check(err)
 		for _, p := range protos {
 			fmt.Println(grid.Render(p))
@@ -182,10 +200,18 @@ func main() {
 		time.Since(start).Round(time.Millisecond),
 		comma(int(env.Scanner.Stats().PacketsSent.Load())),
 		env.Scanner.VirtualElapsed())
+	if *metrics {
+		fmt.Print(tr.Registry().Snapshot().Render())
+	}
 }
+
+// closeTrace flushes the telemetry trace before an error exit (os.Exit
+// skips deferred calls).
+var closeTrace = func() {}
 
 func check(err error) {
 	if err != nil {
+		closeTrace()
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

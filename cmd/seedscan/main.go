@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -27,6 +29,7 @@ import (
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
 	"seedscan/internal/seeds"
+	"seedscan/internal/telemetry"
 	"seedscan/internal/tga/all"
 	"seedscan/internal/world"
 	"seedscan/internal/zdns"
@@ -91,9 +94,49 @@ func envFlags(fs *flag.FlagSet) (seed *uint64, ases *int, scale *float64) {
 }
 
 func buildEnv(seed uint64, ases int, scale float64, budget int) *experiment.Env {
+	return buildEnvTele(seed, ases, scale, budget, nil)
+}
+
+func buildEnvTele(seed uint64, ases int, scale float64, budget int, tr *telemetry.Tracer) *experiment.Env {
 	return experiment.NewEnv(experiment.EnvConfig{
 		WorldSeed: seed, NumASes: ases, CollectScale: scale, Budget: budget,
+		Telemetry: tr,
 	})
+}
+
+// teleFlags wires the shared telemetry flags into fs.
+func teleFlags(fs *flag.FlagSet) (trace *string, metrics *bool) {
+	trace = fs.String("trace", "", "write a JSONL telemetry event log to this file")
+	metrics = fs.Bool("metrics", false, "print final metric values on exit")
+	return
+}
+
+// newTracer builds a tracer for the parsed telemetry flags. The returned
+// finish func closes the trace (flushing the JSONL file and appending the
+// final metrics snapshot) and, with -metrics, prints every counter, gauge,
+// and histogram.
+func newTracer(trace string, metrics bool) (*telemetry.Tracer, func(), error) {
+	var sinks []telemetry.Sink
+	if trace != "" {
+		s, err := telemetry.CreateJSONLFile(trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		sinks = append(sinks, s)
+	}
+	tr := telemetry.NewTracer(nil, sinks...)
+	finish := func() {
+		tr.Close()
+		if metrics {
+			fmt.Print(tr.Registry().Snapshot().Render())
+		}
+	}
+	return tr, finish, nil
+}
+
+// signalContext returns a context cancelled by Ctrl-C.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
 }
 
 func cmdWorld(args []string) error {
@@ -196,13 +239,21 @@ func cmdRun(args []string) error {
 	protoName := fs.String("proto", "icmp", "protocol: icmp, tcp80, tcp443, udp53")
 	budget := fs.Int("budget", 20000, "generation budget")
 	dataset := fs.String("seeds", "allactive", "seed treatment: full, dealiased, allactive, port")
+	trace, metrics := teleFlags(fs)
 	fs.Parse(args)
 
 	p, err := proto.Parse(*protoName)
 	if err != nil {
 		return err
 	}
-	env := buildEnv(*seed, *ases, *scale, *budget)
+	tr, finish, err := newTracer(*trace, *metrics)
+	if err != nil {
+		return err
+	}
+	defer finish()
+	ctx, stop := signalContext()
+	defer stop()
+	env := buildEnvTele(*seed, *ases, *scale, *budget, tr)
 	var seedSet []ipaddrAddr
 	switch *dataset {
 	case "full":
@@ -217,7 +268,7 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("unknown seed treatment %q", *dataset)
 	}
 	fmt.Printf("running %s on %d seeds (%s), %s, budget %d\n", *gen, len(seedSet), *dataset, p, *budget)
-	res, err := env.RunTGA(*gen, seedSet, p, *budget)
+	res, err := env.RunTGACtx(ctx, *gen, seedSet, p, *budget)
 	if err != nil {
 		return err
 	}
@@ -234,6 +285,7 @@ func cmdScan(args []string) error {
 	seed, ases, scale := envFlags(fs)
 	src := fs.String("source", "IPv6 Hitlist", "seed source to scan")
 	protoName := fs.String("proto", "icmp", "protocol")
+	trace, metrics := teleFlags(fs)
 	fs.Parse(args)
 
 	p, err := proto.Parse(*protoName)
@@ -244,9 +296,19 @@ func cmdScan(args []string) error {
 	if err != nil {
 		return err
 	}
-	env := buildEnv(*seed, *ases, *scale, 0)
+	tr, finish, err := newTracer(*trace, *metrics)
+	if err != nil {
+		return err
+	}
+	defer finish()
+	ctx, stop := signalContext()
+	defer stop()
+	env := buildEnvTele(*seed, *ases, *scale, 0, tr)
 	ds := env.Sources[s]
-	results := env.Scanner.Scan(ds.Slice(), p)
+	results, err := env.Scanner.ScanContext(ctx, ds.Slice(), p)
+	if err != nil {
+		return err
+	}
 	counts := map[string]int{}
 	for _, r := range results {
 		counts[r.Status.String()]++
@@ -265,6 +327,7 @@ func cmdDealias(args []string) error {
 	seed, ases, scale := envFlags(fs)
 	src := fs.String("source", "AddrMiner", "seed source to dealias")
 	modeName := fs.String("mode", "joint", "mode: none, offline, online, joint")
+	trace, metrics := teleFlags(fs)
 	fs.Parse(args)
 
 	var mode alias.Mode
@@ -284,9 +347,15 @@ func cmdDealias(args []string) error {
 	if err != nil {
 		return err
 	}
-	env := buildEnv(*seed, *ases, *scale, 0)
+	tr, finish, err := newTracer(*trace, *metrics)
+	if err != nil {
+		return err
+	}
+	defer finish()
+	env := buildEnvTele(*seed, *ases, *scale, 0, tr)
 	ds := env.Sources[s]
 	d := alias.New(mode, env.Offline, env.Scanner, proto.ICMP, *seed)
+	d.SetTelemetry(tr.Registry())
 	clean, aliased := d.Split(ds.Slice())
 	fmt.Printf("%s under %s dealiasing: %d clean, %d aliased (%d /96s tested, %d probes)\n",
 		ds.Name, mode, len(clean), len(aliased), d.PrefixesTested(), d.ProbesSent())

@@ -28,7 +28,7 @@ func main() {
 	w.SetEpoch(world.CollectEpoch)
 	samp := w.NewSampler(1)
 	seeds := samp.Hosts(3000)
-	sc := scanner.New(w.Link(), scanner.Config{Secret: 2})
+	sc := scanner.New(w.Link(), scanner.WithSecret(2))
 
 	store := addrminer.NewStore()
 	fmt.Printf("initial seeds: %d; memory: empty\n\n", len(seeds))

@@ -6,9 +6,12 @@
 // scans them on ICMPv6, and reports hits and AS diversity.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -trace out.jsonl   # JSONL span/metric log
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,12 +20,29 @@ import (
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
 	"seedscan/internal/seeds"
+	"seedscan/internal/telemetry"
 	"seedscan/internal/tga"
 	"seedscan/internal/tga/sixtree"
 	"seedscan/internal/world"
 )
 
 func main() {
+	trace := flag.String("trace", "", "write a JSONL telemetry event log to this file")
+	flag.Parse()
+
+	// 0. Optional telemetry: a tracer feeding a JSONL event log. Every
+	//    layer below accepts it; without -trace the tracer is silent.
+	var sinks []telemetry.Sink
+	if *trace != "" {
+		s, err := telemetry.CreateJSONLFile(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sinks = append(sinks, s)
+	}
+	tr := telemetry.NewTracer(nil, sinks...)
+	ctx := telemetry.NewContext(context.Background(), tr)
+
 	// 1. A simulated IPv6 Internet: ASes, prefixes, addressing patterns,
 	//    aliases, churn. Deterministic given the seed.
 	w := world.New(world.Config{Seed: 1, NumASes: 100})
@@ -34,20 +54,24 @@ func main() {
 	w.SetEpoch(world.ScanEpoch)
 	fmt.Printf("collected %d seeds from %s\n", hitlist.Len(), hitlist.Name)
 
-	// 3. A Scanv6-style scanner over the world's wire.
-	sc := scanner.New(w.Link(), scanner.Config{Secret: 3})
+	// 3. A Scanv6-style scanner over the world's wire, reporting into the
+	//    tracer's metrics registry.
+	sc := scanner.New(w.Link(), scanner.WithSecret(3), scanner.WithTelemetry(tr.Registry()))
 
 	// 4. Preprocess: joint (offline+online) dealiasing, then keep only
 	//    seeds responsive on ICMP — the paper's RQ1 recommendations.
 	offline := alias.NewOfflineList(w.AliasedPrefixes()[:len(w.AliasedPrefixes())/2])
 	dealiaser := alias.New(alias.ModeJoint, offline, sc, proto.ICMP, 4)
+	dealiaser.SetTelemetry(tr.Registry())
 	clean, aliased := dealiaser.Split(hitlist.Slice())
 	active := sc.ScanActive(clean, proto.ICMP)
 	fmt.Printf("preprocessing: %d aliased removed, %d of %d clean seeds responsive\n",
 		len(aliased), len(active), len(clean))
 
 	// 5. Generate with 6Tree and scan the candidates, dealiasing output.
-	res, err := tga.Run(sixtree.New(), active, tga.RunConfig{
+	//    RunContext emits the run -> batch -> generate/scan/dealias span
+	//    hierarchy to the tracer carried by ctx.
+	res, err := tga.RunContext(ctx, sixtree.New(), active, tga.RunConfig{
 		Budget:       10000,
 		Proto:        proto.ICMP,
 		Prober:       sc,
@@ -64,4 +88,11 @@ func main() {
 		res.Generated, out.Hits, out.ASes, out.Aliases)
 	fmt.Printf("scan cost: %d packets, %.1fs of virtual scan time at 10k pps\n",
 		sc.Stats().PacketsSent.Load(), sc.VirtualElapsed())
+
+	// 7. Close the tracer: flushes the JSONL log, appending a final event
+	//    with every counter, gauge, and histogram.
+	tr.Close()
+	if *trace != "" {
+		fmt.Printf("wrote telemetry trace to %s\n", *trace)
+	}
 }

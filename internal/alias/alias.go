@@ -18,6 +18,7 @@ import (
 
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
+	"seedscan/internal/telemetry"
 )
 
 // AliasPrefixBits is the prefix granularity of the online test. The paper
@@ -99,6 +100,13 @@ type Dealiaser struct {
 	probes  int
 	tested  int
 	rngSeed uint64
+
+	// Telemetry counters; all nil-safe, so an unwired Dealiaser pays only
+	// a no-op method call.
+	cCacheHit   *telemetry.Counter
+	cCacheMiss  *telemetry.Counter
+	cTested     *telemetry.Counter
+	cProbesSent *telemetry.Counter
 }
 
 // New builds a Dealiaser. offline may be nil for ModeNone/ModeOnline;
@@ -116,6 +124,16 @@ func New(mode Mode, offline *OfflineList, prober Prober, p proto.Protocol, seed 
 
 // Mode returns the configured mode.
 func (d *Dealiaser) Mode() Mode { return d.mode }
+
+// SetTelemetry wires the dealiaser's alias.* counters (verdict-cache
+// hits/misses, prefixes tested, probes sent) into reg. A nil registry
+// detaches them.
+func (d *Dealiaser) SetTelemetry(reg *telemetry.Registry) {
+	d.cCacheHit = reg.Counter("alias.verdict_cache.hits")
+	d.cCacheMiss = reg.Counter("alias.verdict_cache.misses")
+	d.cTested = reg.Counter("alias.prefixes_tested")
+	d.cProbesSent = reg.Counter("alias.probes_sent")
+}
 
 // ProbesSent reports how many dealiasing probe targets have been issued.
 func (d *Dealiaser) ProbesSent() int {
@@ -194,6 +212,8 @@ func (d *Dealiaser) unknownPrefixes(byPrefix map[ipaddr.Prefix][]ipaddr.Addr) []
 			unknown = append(unknown, p)
 		}
 	}
+	d.cCacheMiss.Add(int64(len(unknown)))
+	d.cCacheHit.Add(int64(len(byPrefix) - len(unknown)))
 	// Deterministic probe generation order.
 	sort.Slice(unknown, func(i, j int) bool {
 		if unknown[i].Addr() != unknown[j].Addr() {
@@ -229,6 +249,8 @@ func (d *Dealiaser) testPrefixes(prefixes []ipaddr.Prefix) {
 		}
 	}
 
+	d.cProbesSent.Add(int64(len(targets)))
+	d.cTested.Add(int64(len(prefixes)))
 	d.mu.Lock()
 	d.probes += len(targets)
 	d.tested += len(prefixes)

@@ -14,7 +14,7 @@ func testWorld(t testing.TB) (*world.World, *scanner.Scanner) {
 	t.Helper()
 	w := world.New(world.Config{Seed: 42, NumASes: 60, LossRate: 0})
 	w.SetEpoch(world.ScanEpoch)
-	return w, scanner.New(w.Link(), scanner.Config{Secret: 1})
+	return w, scanner.New(w.Link(), scanner.WithSecret(1))
 }
 
 // fullRateAlias returns an aliased region that answers at full rate.

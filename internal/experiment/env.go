@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -15,6 +16,7 @@ import (
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
 	"seedscan/internal/seeds"
+	"seedscan/internal/telemetry"
 	"seedscan/internal/tga"
 	"seedscan/internal/tga/all"
 	"seedscan/internal/world"
@@ -38,6 +40,10 @@ type EnvConfig struct {
 	OfflineCoverage float64
 	// ScanSecret keys probe cookies.
 	ScanSecret uint64
+	// Telemetry receives the environment's spans, progress events, and
+	// metrics. Nil gets a silent tracer, so instrumentation is always
+	// wired and always cheap.
+	Telemetry *telemetry.Tracer
 }
 
 func (c *EnvConfig) fillDefaults() {
@@ -75,6 +81,9 @@ type Env struct {
 	Sources map[seeds.Source]*seeds.Dataset
 	Full    *seeds.Dataset
 	Offline *alias.OfflineList
+	// Tele is the environment's tracer (never nil; a silent tracer when
+	// EnvConfig.Telemetry was not set).
+	Tele *telemetry.Tracer
 
 	// Lazily computed treatment caches.
 	dealiased   map[alias.Mode]*seeds.Dataset
@@ -88,6 +97,10 @@ type Env struct {
 // world to the scan epoch.
 func NewEnv(cfg EnvConfig) *Env {
 	cfg.fillDefaults()
+	tr := cfg.Telemetry
+	if tr == nil {
+		tr = telemetry.NewTracer(nil)
+	}
 	w := world.New(world.Config{Seed: cfg.WorldSeed, NumASes: cfg.NumASes, LossRate: cfg.LossRate})
 	w.SetEpoch(world.CollectEpoch)
 	srcs := seeds.CollectAll(w, seeds.CollectConfig{Seed: cfg.CollectSeed, Scale: cfg.CollectScale})
@@ -104,9 +117,12 @@ func NewEnv(cfg EnvConfig) *Env {
 
 	w.SetEpoch(world.ScanEpoch)
 	return &Env{
-		Cfg:         cfg,
-		World:       w,
-		Scanner:     scanner.New(w.Link(), scanner.Config{Secret: cfg.ScanSecret}),
+		Cfg:   cfg,
+		World: w,
+		Scanner: scanner.New(w.Link(),
+			scanner.WithSecret(cfg.ScanSecret),
+			scanner.WithTelemetry(tr.Registry())),
+		Tele:        tr,
 		Sources:     srcs,
 		Full:        full,
 		Offline:     alias.NewOfflineList(listed),
@@ -122,6 +138,7 @@ func (e *Env) OutputDealiaser(p proto.Protocol) *alias.Dealiaser {
 	d, ok := e.outDealiase[p]
 	if !ok {
 		d = alias.New(alias.ModeJoint, e.Offline, e.Scanner, p, e.Cfg.ScanSecret^uint64(p))
+		d.SetTelemetry(e.Tele.Registry())
 		e.outDealiase[p] = d
 	}
 	return d
@@ -134,6 +151,7 @@ func (e *Env) DealiasedSeeds(mode alias.Mode) *seeds.Dataset {
 		return ds
 	}
 	d := alias.New(mode, e.Offline, e.Scanner, proto.ICMP, e.Cfg.ScanSecret^0xa11a5)
+	d.SetTelemetry(e.Tele.Registry())
 	clean, _ := d.Split(e.Full.Slice())
 	ds := seeds.FromAddrs("Full/"+mode.String(), clean)
 	e.dealiased[mode] = ds
@@ -187,16 +205,26 @@ type TGAResult struct {
 // RunTGA generates budget addresses with the named TGA from seedSet,
 // scans them on p, dealiases the output with the shared joint dealiaser,
 // and measures hits/ASes/aliases. ICMP outcomes exclude the pathological
-// AS12322 analogue, as §4.1 prescribes.
+// AS12322 analogue, as §4.1 prescribes. It is RunTGACtx with a background
+// context.
 func (e *Env) RunTGA(name string, seedSet []ipaddr.Addr, p proto.Protocol, budget int) (TGAResult, error) {
+	return e.RunTGACtx(context.Background(), name, seedSet, p, budget)
+}
+
+// RunTGACtx is RunTGA under a context: cancellation stops the run between
+// batches (and mid-scan), and the environment's tracer is attached to ctx
+// so the TGA driver's span hierarchy lands in Env telemetry unless the
+// caller brought a tracer of its own.
+func (e *Env) RunTGACtx(ctx context.Context, name string, seedSet []ipaddr.Addr, p proto.Protocol, budget int) (TGAResult, error) {
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
+	ctx = telemetry.EnsureContext(ctx, e.Tele)
 	g, err := all.New(name)
 	if err != nil {
 		return TGAResult{}, err
 	}
-	run, err := tga.Run(g, seedSet, tga.RunConfig{
+	run, err := tga.RunContext(ctx, g, seedSet, tga.RunConfig{
 		Budget: budget,
 		// Small batches give online generators enough feedback rounds to
 		// adapt at scaled-down budgets (the paper's 50M-budget runs see

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -9,7 +10,8 @@ import (
 // deterministic in isolation (its own generator, deterministic scanning
 // and dealiasing), so running them concurrently changes wall-clock time
 // and nothing else. Shared state (the scanner's atomic counters, the
-// output dealiaser's verdict cache) is concurrency-safe.
+// output dealiaser's verdict cache, the telemetry registry) is
+// concurrency-safe.
 //
 // Lazily cached seed treatments are NOT safe to build concurrently, so
 // every harness resolves its seed lists before fanning out.
@@ -27,13 +29,18 @@ func (e *Env) Workers() int {
 }
 
 // runParallel executes fn(0..n-1) on up to `workers` goroutines and
-// returns the first error.
-func runParallel(workers, n int, fn func(i int) error) error {
+// returns the first error. Once ctx is cancelled no further indices are
+// dispatched; already-running calls finish (each fn observes ctx itself),
+// and ctx.Err() is returned if it cut the grid short.
+func runParallel(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -51,6 +58,9 @@ func runParallel(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				if err != nil || next >= n {
 					mu.Unlock()
@@ -71,5 +81,8 @@ func runParallel(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err == nil {
+		err = ctx.Err()
+	}
 	return err
 }

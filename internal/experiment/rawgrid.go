@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"sync/atomic"
+
 	"seedscan/internal/alias"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/metrics"
@@ -61,6 +64,11 @@ type RawGrid struct {
 // RunRawGrid reproduces Tables 9-12 for the given protocols and
 // generators, optionally restricting the dataset rows (nil = all nine).
 func (e *Env) RunRawGrid(protos []proto.Protocol, gens, datasets []string, budget int) (*RawGrid, error) {
+	return e.RunRawGridCtx(context.Background(), protos, gens, datasets, budget)
+}
+
+// RunRawGridCtx is RunRawGrid under a context.
+func (e *Env) RunRawGridCtx(ctx context.Context, protos []proto.Protocol, gens, datasets []string, budget int) (*RawGrid, error) {
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
@@ -90,12 +98,14 @@ func (e *Env) RunRawGrid(protos []proto.Protocol, gens, datasets []string, budge
 		}
 	}
 	outs := make([]metrics.Outcome, len(jobs))
-	err := runParallel(e.Workers(), len(jobs), func(i int) error {
-		r, err := e.RunTGA(jobs[i].gen, jobs[i].set, jobs[i].p, budget)
+	var done atomic.Int64
+	err := runParallel(ctx, e.Workers(), len(jobs), func(i int) error {
+		r, err := e.RunTGACtx(ctx, jobs[i].gen, jobs[i].set, jobs[i].p, budget)
 		if err != nil {
 			return err
 		}
 		outs[i] = r.Outcome
+		e.Tele.Progress("Raw grid", int(done.Add(1)), len(jobs))
 		return nil
 	})
 	if err != nil {

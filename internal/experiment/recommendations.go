@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,13 +25,18 @@ type Recommendation struct {
 // §10 recommendations on this environment, using the given generators and
 // budget for the measurement runs.
 func (e *Env) RunRecommendations(gens []string, budget int) ([]Recommendation, error) {
+	return e.RunRecommendationsCtx(context.Background(), gens, budget)
+}
+
+// RunRecommendationsCtx is RunRecommendations under a context.
+func (e *Env) RunRecommendationsCtx(ctx context.Context, gens []string, budget int) ([]Recommendation, error) {
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
 	var out []Recommendation
 
 	// 1. Dealiasing.
-	rq1a, err := e.RunRQ1a([]proto.Protocol{proto.ICMP}, gens, budget)
+	rq1a, err := e.RunRQ1aCtx(ctx, []proto.Protocol{proto.ICMP}, gens, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +50,7 @@ func (e *Env) RunRecommendations(gens []string, budget int) ([]Recommendation, e
 	})
 
 	// 2. Unresponsive addresses.
-	rq1b, err := e.RunRQ1b([]proto.Protocol{proto.ICMP}, gens, budget)
+	rq1b, err := e.RunRQ1bCtx(ctx, []proto.Protocol{proto.ICMP}, gens, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +62,7 @@ func (e *Env) RunRecommendations(gens []string, budget int) ([]Recommendation, e
 	})
 
 	// 3. Port-specific seeds.
-	rq2, err := e.RunRQ2([]proto.Protocol{proto.TCP443}, gens, budget)
+	rq2, err := e.RunRQ2Ctx(ctx, []proto.Protocol{proto.TCP443}, gens, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +85,7 @@ func (e *Env) RunRecommendations(gens []string, budget int) ([]Recommendation, e
 	})
 
 	// 5-6. Generator choice and combination.
-	rq4, err := e.RunRQ4([]proto.Protocol{proto.ICMP}, gens, budget)
+	rq4, err := e.RunRQ4Ctx(ctx, []proto.Protocol{proto.ICMP}, gens, budget)
 	if err != nil {
 		return nil, err
 	}

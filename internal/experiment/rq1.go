@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"sync/atomic"
+
 	"seedscan/internal/alias"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/metrics"
@@ -22,8 +25,9 @@ type ComparisonResult struct {
 }
 
 // compare runs every generator on both seed treatments across protos and
-// computes Performance Ratio rows.
-func (e *Env) compare(name, origName, chgName string,
+// computes Performance Ratio rows. Progress events (one per completed
+// generator×protocol pair) go to the environment's tracer.
+func (e *Env) compare(ctx context.Context, name, origName, chgName string,
 	original, changed func(p proto.Protocol) []ipaddr.Addr,
 	protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
 
@@ -35,22 +39,25 @@ func (e *Env) compare(name, origName, chgName string,
 		Raw:    make(map[proto.Protocol]map[string][2]metrics.Outcome),
 		Ratios: make(map[proto.Protocol][]metrics.RatioRow),
 	}
+	total := len(protos) * len(gens)
+	var done atomic.Int64
 	for _, p := range protos {
 		res.Raw[p] = make(map[string][2]metrics.Outcome)
 		orig := original(p)
 		chg := changed(p)
 		e.OutputDealiaser(p) // materialize the shared dealiaser before fan-out
 		outcomes := make([][2]metrics.Outcome, len(gens))
-		err := runParallel(e.Workers(), len(gens), func(i int) error {
-			ro, err := e.RunTGA(gens[i], orig, p, budget)
+		err := runParallel(ctx, e.Workers(), len(gens), func(i int) error {
+			ro, err := e.RunTGACtx(ctx, gens[i], orig, p, budget)
 			if err != nil {
 				return err
 			}
-			rc, err := e.RunTGA(gens[i], chg, p, budget)
+			rc, err := e.RunTGACtx(ctx, gens[i], chg, p, budget)
 			if err != nil {
 				return err
 			}
 			outcomes[i] = [2]metrics.Outcome{ro.Outcome, rc.Outcome}
+			e.Tele.Progress(name, int(done.Add(1)), total)
 			return nil
 		})
 		if err != nil {
@@ -74,7 +81,12 @@ func (e *Env) compare(name, origName, chgName string,
 // change TGA hits, ASes, and generated aliases? Original = full collected
 // dataset; changed = joint (online+offline) dealiased dataset.
 func (e *Env) RunRQ1a(protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
-	return e.compare("RQ1.a / Figure 3", "Full", "Dealiased",
+	return e.RunRQ1aCtx(context.Background(), protos, gens, budget)
+}
+
+// RunRQ1aCtx is RunRQ1a under a context.
+func (e *Env) RunRQ1aCtx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
+	return e.compare(ctx, "RQ1.a / Figure 3", "Full", "Dealiased",
 		func(proto.Protocol) []ipaddr.Addr { return e.Full.Slice() },
 		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).Slice() },
 		protos, gens, budget)
@@ -92,6 +104,11 @@ type Table4Result struct {
 
 // RunTable4 reproduces Table 4.
 func (e *Env) RunTable4(gens []string, budget int) (*Table4Result, error) {
+	return e.RunTable4Ctx(context.Background(), gens, budget)
+}
+
+// RunTable4Ctx is RunTable4 under a context.
+func (e *Env) RunTable4Ctx(ctx context.Context, gens []string, budget int) (*Table4Result, error) {
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
@@ -103,14 +120,16 @@ func (e *Env) RunTable4(gens []string, budget int) (*Table4Result, error) {
 	}
 	e.OutputDealiaser(proto.ICMP)
 	rows := make([][4]int, len(gens))
-	err := runParallel(e.Workers(), len(gens), func(gi int) error {
+	var done atomic.Int64
+	err := runParallel(ctx, e.Workers(), len(gens), func(gi int) error {
 		for i := range alias.Modes {
-			r, err := e.RunTGA(gens[gi], seedSets[i], proto.ICMP, budget)
+			r, err := e.RunTGACtx(ctx, gens[gi], seedSets[i], proto.ICMP, budget)
 			if err != nil {
 				return err
 			}
 			rows[gi][i] = r.Outcome.Aliases
 		}
+		e.Tele.Progress("Table 4", int(done.Add(1)), len(gens))
 		return nil
 	})
 	if err != nil {
@@ -139,7 +158,12 @@ func (r *Table4Result) Render() string {
 // addresses help? Original = joint-dealiased dataset (active+inactive);
 // changed = All Active.
 func (e *Env) RunRQ1b(protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
-	return e.compare("RQ1.b / Figure 4", "Dealiased", "All Active",
+	return e.RunRQ1bCtx(context.Background(), protos, gens, budget)
+}
+
+// RunRQ1bCtx is RunRQ1b under a context.
+func (e *Env) RunRQ1bCtx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
+	return e.compare(ctx, "RQ1.b / Figure 4", "Dealiased", "All Active",
 		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).Slice() },
 		func(proto.Protocol) []ipaddr.Addr { return e.AllActiveSeeds().Slice() },
 		protos, gens, budget)

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
 )
@@ -9,7 +11,12 @@ import (
 // scanned port/protocol help? Original = All Active; changed = seeds
 // active on the scanned protocol specifically.
 func (e *Env) RunRQ2(protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
-	return e.compare("RQ2 / Figure 5", "All Active", "Port-Specific",
+	return e.RunRQ2Ctx(context.Background(), protos, gens, budget)
+}
+
+// RunRQ2Ctx is RunRQ2 under a context.
+func (e *Env) RunRQ2Ctx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
+	return e.compare(ctx, "RQ2 / Figure 5", "All Active", "Port-Specific",
 		func(proto.Protocol) []ipaddr.Addr { return e.AllActiveSeeds().Slice() },
 		func(p proto.Protocol) []ipaddr.Addr { return e.PortActiveSeeds(p).Slice() },
 		protos, gens, budget)
@@ -31,6 +38,11 @@ var InputLabels = []string{"ICMP", "TCP80", "TCP443", "UDP53", "All Active"}
 // RunCrossPort reproduces Figure 7: each input dataset (seeds active on
 // one protocol, plus All Active) scanned on every protocol.
 func (e *Env) RunCrossPort(gens []string, budget int) (*CrossPortResult, error) {
+	return e.RunCrossPortCtx(context.Background(), gens, budget)
+}
+
+// RunCrossPortCtx is RunCrossPort under a context.
+func (e *Env) RunCrossPortCtx(ctx context.Context, gens []string, budget int) (*CrossPortResult, error) {
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
@@ -41,17 +53,23 @@ func (e *Env) RunCrossPort(gens []string, budget int) (*CrossPortResult, error) 
 	}
 	inputs = append(inputs, e.AllActiveSeeds().Slice())
 
+	cells, done := len(inputs)*int(proto.Count), 0
 	for i, seedSet := range inputs {
 		for _, scanP := range proto.All {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			total := 0
 			for _, g := range gens {
-				r, err := e.RunTGA(g, seedSet, scanP, budget)
+				r, err := e.RunTGACtx(ctx, g, seedSet, scanP, budget)
 				if err != nil {
 					return nil, err
 				}
 				total += r.Outcome.Hits
 			}
 			res.Hits[i][scanP] = total
+			done++
+			e.Tele.Progress("Figure 7", done, cells)
 		}
 	}
 	return res, nil

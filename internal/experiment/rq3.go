@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"sync/atomic"
+
 	"seedscan/internal/asdb"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/metrics"
@@ -25,6 +28,11 @@ type RQ3Result struct {
 // RunRQ3 runs every generator on every source-specific active dataset for
 // the given protocols.
 func (e *Env) RunRQ3(protos []proto.Protocol, gens []string, sources []seeds.Source, budget int) (*RQ3Result, error) {
+	return e.RunRQ3Ctx(context.Background(), protos, gens, sources, budget)
+}
+
+// RunRQ3Ctx is RunRQ3 under a context.
+func (e *Env) RunRQ3Ctx(ctx context.Context, protos []proto.Protocol, gens []string, sources []seeds.Source, budget int) (*RQ3Result, error) {
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
@@ -62,12 +70,14 @@ func (e *Env) RunRQ3(protos []proto.Protocol, gens []string, sources []seeds.Sou
 		}
 	}
 	runs := make([]TGAResult, len(jobs))
-	err := runParallel(e.Workers(), len(jobs), func(i int) error {
-		r, err := e.RunTGA(jobs[i].gen, jobs[i].set, jobs[i].p, budget)
+	var done atomic.Int64
+	err := runParallel(ctx, e.Workers(), len(jobs), func(i int) error {
+		r, err := e.RunTGACtx(ctx, jobs[i].gen, jobs[i].set, jobs[i].p, budget)
 		if err != nil {
 			return err
 		}
 		runs[i] = r
+		e.Tele.Progress("RQ3", int(done.Add(1)), len(jobs))
 		return nil
 	})
 	if err != nil {
@@ -96,6 +106,11 @@ type Table5Result struct{ Rows []Table5Row }
 // source-specific ICMP runs versus one run with a 12× budget on All
 // Active. rq3 must contain ICMP runs for every source.
 func (e *Env) RunTable5(rq3 *RQ3Result) (*Table5Result, error) {
+	return e.RunTable5Ctx(context.Background(), rq3)
+}
+
+// RunTable5Ctx is RunTable5 under a context.
+func (e *Env) RunTable5Ctx(ctx context.Context, rq3 *RQ3Result) (*Table5Result, error) {
 	db := e.World.ASDB()
 	bigBudget := rq3.Budget * len(rq3.Sources)
 	res := &Table5Result{}
@@ -107,7 +122,7 @@ func (e *Env) RunTable5(rq3 *RQ3Result) (*Table5Result, error) {
 		}
 		combinedAddrs := filterASN(combined.Slice(), db, world.PathologicalASN)
 
-		big, err := e.RunTGA(g, allActive, proto.ICMP, bigBudget)
+		big, err := e.RunTGACtx(ctx, g, allActive, proto.ICMP, bigBudget)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"sync/atomic"
+
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/metrics"
 	"seedscan/internal/proto"
@@ -21,6 +24,11 @@ type RQ4Result struct {
 
 // RunRQ4 reproduces Figure 6: combined-generator coverage on All Active.
 func (e *Env) RunRQ4(protos []proto.Protocol, gens []string, budget int) (*RQ4Result, error) {
+	return e.RunRQ4Ctx(context.Background(), protos, gens, budget)
+}
+
+// RunRQ4Ctx is RunRQ4 under a context.
+func (e *Env) RunRQ4Ctx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*RQ4Result, error) {
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
@@ -33,18 +41,21 @@ func (e *Env) RunRQ4(protos []proto.Protocol, gens []string, budget int) (*RQ4Re
 	}
 	seedSet := e.AllActiveSeeds().Slice()
 	db := e.World.ASDB()
+	total := len(protos) * len(gens)
+	var done atomic.Int64
 	for _, p := range protos {
 		res.Outcome[p] = make(map[string]metrics.Outcome)
 		hitSets := make(map[string]map[ipaddr.Addr]struct{}, len(gens))
 		asSets := make(map[string]map[int]struct{}, len(gens))
 		e.OutputDealiaser(p)
 		runs := make([]TGAResult, len(gens))
-		err := runParallel(e.Workers(), len(gens), func(i int) error {
-			r, err := e.RunTGA(gens[i], seedSet, p, budget)
+		err := runParallel(ctx, e.Workers(), len(gens), func(i int) error {
+			r, err := e.RunTGACtx(ctx, gens[i], seedSet, p, budget)
 			if err != nil {
 				return err
 			}
 			runs[i] = r
+			e.Tele.Progress("RQ4", int(done.Add(1)), total)
 			return nil
 		})
 		if err != nil {

@@ -18,7 +18,7 @@ func buildEnv(t testing.TB) (*world.World, *scanner.Scanner, map[seeds.Source]*s
 	w.SetEpoch(world.CollectEpoch)
 	srcs := seeds.CollectAll(w, seeds.CollectConfig{Seed: 7, Scale: 0.2})
 	w.SetEpoch(world.ScanEpoch)
-	return w, scanner.New(w.Link(), scanner.Config{Secret: 3}), srcs
+	return w, scanner.New(w.Link(), scanner.WithSecret(3)), srcs
 }
 
 func TestNewRequiresProber(t *testing.T) {

@@ -1,0 +1,182 @@
+package scanner
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/telemetry"
+	"seedscan/internal/world"
+)
+
+// TestScanDoesNotMutateCallerSlice is the regression test for the in-place
+// dedup/shuffle bug: Scan used to reorder shared seed/candidate lists
+// between runs.
+func TestScanDoesNotMutateCallerSlice(t *testing.T) {
+	w := testWorld(t)
+	w.SetEpoch(world.CollectEpoch)
+	samp := w.NewSampler(31)
+	targets := samp.Hosts(200)
+	// Plant duplicates so dedup has work to do.
+	targets = append(targets, targets[0], targets[1])
+	before := append([]ipaddr.Addr(nil), targets...)
+
+	s := New(w.Link(), WithSecret(41))
+	s.Scan(targets, proto.ICMP)
+
+	if len(targets) != len(before) {
+		t.Fatalf("caller slice resized: %d -> %d", len(before), len(targets))
+	}
+	for i := range before {
+		if targets[i] != before[i] {
+			t.Fatalf("caller slice mutated at %d: %v != %v", i, targets[i], before[i])
+		}
+	}
+}
+
+// TestWithRetriesZeroProbesOnce covers the configuration the old Config
+// struct could not express: zero retries, one packet per silent target.
+func TestWithRetriesZeroProbesOnce(t *testing.T) {
+	w := testWorld(t)
+	w.SetEpoch(world.CollectEpoch)
+	var targets []ipaddr.Addr
+	base := ipaddr.MustParse("3fff::")
+	for i := 0; i < 50; i++ {
+		targets = append(targets, base.AddLo(uint64(i)))
+	}
+	s := New(w.Link(), WithSecret(5), WithRetries(0))
+	res := s.Scan(targets, proto.ICMP)
+	for _, r := range res {
+		if r.Attempts != 1 {
+			t.Fatalf("attempts = %d, want 1", r.Attempts)
+		}
+	}
+	if got := s.Stats().PacketsSent.Load(); got != int64(len(targets)) {
+		t.Fatalf("packets = %d, want %d", got, len(targets))
+	}
+}
+
+// TestConfigAdapterKeepsDefaults pins the deprecated NewWithConfig
+// behavior: zero values still mean §4.2 defaults.
+func TestConfigAdapterKeepsDefaults(t *testing.T) {
+	w := testWorld(t)
+	w.SetEpoch(world.CollectEpoch)
+	var targets []ipaddr.Addr
+	base := ipaddr.MustParse("3fff::")
+	for i := 0; i < 10; i++ {
+		targets = append(targets, base.AddLo(uint64(i)))
+	}
+	s := NewWithConfig(w.Link(), Config{Secret: 5})
+	res := s.Scan(targets, proto.ICMP)
+	for _, r := range res {
+		if r.Attempts != 3 {
+			t.Fatalf("attempts = %d, want 3 (2 retries)", r.Attempts)
+		}
+	}
+}
+
+// slowLink delays each exchange until released, so a scan can be caught
+// mid-flight deterministically.
+type slowLink struct {
+	inner   Link
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (l *slowLink) Exchange(pkt []byte) [][]byte {
+	l.once.Do(func() { close(l.started) })
+	<-l.release
+	return l.inner.Exchange(pkt)
+}
+
+func TestScanContextCancellationMidScan(t *testing.T) {
+	w := testWorld(t)
+	w.SetEpoch(world.CollectEpoch)
+	var targets []ipaddr.Addr
+	base := ipaddr.MustParse("3fff::")
+	for i := 0; i < 500; i++ {
+		targets = append(targets, base.AddLo(uint64(i)))
+	}
+	link := &slowLink{inner: w.Link(), started: make(chan struct{}), release: make(chan struct{})}
+	s := New(link, WithSecret(5), WithWorkers(2))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res []Result
+	var err error
+	go func() {
+		res, err = s.ScanContext(ctx, targets, proto.ICMP)
+		close(done)
+	}()
+	<-link.started
+	cancel()
+	close(link.release)
+	<-done
+
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res) >= len(targets) {
+		t.Fatalf("scan did not stop early: %d results of %d targets", len(res), len(targets))
+	}
+	// Returned results must be fully probed ones.
+	for _, r := range res {
+		if r.Attempts == 0 {
+			t.Fatalf("unprobed result returned: %+v", r)
+		}
+	}
+}
+
+func TestScanContextPreCancelled(t *testing.T) {
+	w := testWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := New(w.Link(), WithSecret(5))
+	res, err := s.ScanContext(ctx, []ipaddr.Addr{ipaddr.MustParse("3fff::1")}, proto.ICMP)
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("results = %d, want 0", len(res))
+	}
+	if s.Stats().PacketsSent.Load() != 0 {
+		t.Fatal("pre-cancelled scan sent packets")
+	}
+}
+
+func TestScannerTelemetryCounters(t *testing.T) {
+	w := testWorld(t)
+	w.SetEpoch(world.CollectEpoch)
+	samp := w.NewSampler(23)
+	var targets []ipaddr.Addr
+	for _, a := range samp.ActiveHosts(40, proto.ICMP) {
+		r, _ := w.RegionOf(a)
+		if r.RespRate == 1 {
+			targets = append(targets, a)
+		}
+	}
+	reg := telemetry.NewRegistry()
+	s := New(w.Link(), WithSecret(5), WithTelemetry(reg))
+	s.Scan(targets, proto.ICMP)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["scanner.probes_sent.ICMP"]; got != s.Stats().PacketsSent.Load() {
+		t.Fatalf("probes_sent = %d, stats = %d", got, s.Stats().PacketsSent.Load())
+	}
+	if got := snap.Counters["scanner.hits.ICMP"]; got != int64(len(targets)) {
+		t.Fatalf("hits = %d, want %d", got, len(targets))
+	}
+	h := snap.Histograms["scanner.scan.virtual_seconds"]
+	if h.Count != 1 || h.Sum <= 0 {
+		t.Fatalf("virtual_seconds = %+v", h)
+	}
+	if snap.Histograms["scanner.scan.wall_seconds"].Count != 1 {
+		t.Fatal("wall_seconds not recorded")
+	}
+	if snap.Gauges["scanner.ratelimit.virtual_elapsed_seconds"] != s.VirtualElapsed() {
+		t.Fatal("rate-limit gauge mismatch")
+	}
+}

@@ -70,7 +70,7 @@ func TestBlocklistIntegratesWithScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(w.Link(), Config{Secret: 9, Blocklist: bl})
+	s := New(w.Link(), WithSecret(9), WithBlocklist(bl))
 	samp := w.NewSampler(99)
 	targets := samp.Hosts(50)
 	res := s.Scan(targets, 0)

@@ -1,0 +1,156 @@
+package scanner
+
+import (
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/telemetry"
+)
+
+// Option configures a Scanner at construction time. The options replace
+// the old zero-value-means-default Config convention: every setting is
+// explicit, so WithRetries(0) genuinely means "probe once, no retry" —
+// a configuration the Config struct could not express.
+type Option func(*settings)
+
+// settings is the resolved configuration an option set produces.
+type settings struct {
+	source    ipaddr.Addr
+	retries   int
+	workers   int
+	ratePPS   int
+	blocklist *ipaddr.Trie
+	secret    uint64
+	shuffle   bool
+	tele      *telemetry.Registry
+}
+
+// defaultSettings mirrors §4.2 of the paper: 2 retries (3 packets total),
+// 8 workers, the 10k pps ethical rate cap, shuffled scan order.
+func defaultSettings() settings {
+	return settings{
+		source:  ipaddr.MustParse("2001:db8:5ca0::1"),
+		retries: 2,
+		workers: 8,
+		ratePPS: 10000,
+		shuffle: true,
+	}
+}
+
+// WithSourceAddr sets the scanner's own address, stamped on probes.
+func WithSourceAddr(a ipaddr.Addr) Option {
+	return func(s *settings) { s.source = a }
+}
+
+// WithRetries sets the number of additional attempts after the first probe
+// goes unanswered. Zero means probe exactly once. Negative values clamp
+// to zero.
+func WithRetries(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			n = 0
+		}
+		s.retries = n
+	}
+}
+
+// WithWorkers sets the number of concurrent probe workers (minimum 1).
+func WithWorkers(n int) Option {
+	return func(s *settings) {
+		if n < 1 {
+			n = 1
+		}
+		s.workers = n
+	}
+}
+
+// WithRatePPS caps the aggregate probe rate on the virtual clock
+// (minimum 1 pps).
+func WithRatePPS(pps int) Option {
+	return func(s *settings) {
+		if pps < 1 {
+			pps = 1
+		}
+		s.ratePPS = pps
+	}
+}
+
+// WithBlocklist installs prefixes that must never be probed.
+func WithBlocklist(t *ipaddr.Trie) Option {
+	return func(s *settings) { s.blocklist = t }
+}
+
+// WithSecret keys the validation cookies and the scan-order shuffle.
+func WithSecret(secret uint64) Option {
+	return func(s *settings) { s.secret = secret }
+}
+
+// WithoutShuffle disables the ethical scan-order randomization — useful
+// for deterministic unit tests.
+func WithoutShuffle() Option {
+	return func(s *settings) { s.shuffle = false }
+}
+
+// WithTelemetry wires a metrics registry into the scanner: per-protocol
+// probe/retry/hit counters, cookie-failure counts, and rate-limiter
+// accounting. A nil registry is accepted and leaves telemetry off.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *settings) { s.tele = reg }
+}
+
+// Config tunes a Scanner. Zero values get sensible defaults from
+// NewWithConfig.
+//
+// Deprecated: Config cannot represent Retries: 0 (probe once) because zero
+// means "default". Use New with functional options (WithRetries,
+// WithWorkers, ...) instead; Config remains only as an adapter for old
+// call sites.
+type Config struct {
+	// SourceAddr is the scanner's own address, stamped on probes.
+	SourceAddr ipaddr.Addr
+	// Retries is the number of additional attempts after the first probe
+	// goes unanswered (default 2, i.e. 3 packets total, matching §4.2).
+	Retries int
+	// Workers is the number of concurrent probe workers (default 8).
+	Workers int
+	// RatePPS caps the aggregate probe rate on a virtual clock (default
+	// 10_000, the paper's ethical rate limit).
+	RatePPS int
+	// Blocklist holds prefixes that must never be probed (opt-out ranges).
+	Blocklist *ipaddr.Trie
+	// Secret keys the validation cookies and the scan-order shuffle.
+	Secret uint64
+	// NoShuffle disables the ethical scan-order randomization.
+	NoShuffle bool
+}
+
+// Options converts the legacy Config to the equivalent option list,
+// preserving its zero-value-means-default semantics.
+func (c Config) Options() []Option {
+	var opts []Option
+	if !c.SourceAddr.IsZero() {
+		opts = append(opts, WithSourceAddr(c.SourceAddr))
+	}
+	if c.Retries != 0 {
+		opts = append(opts, WithRetries(c.Retries))
+	}
+	if c.Workers != 0 {
+		opts = append(opts, WithWorkers(c.Workers))
+	}
+	if c.RatePPS != 0 {
+		opts = append(opts, WithRatePPS(c.RatePPS))
+	}
+	if c.Blocklist != nil {
+		opts = append(opts, WithBlocklist(c.Blocklist))
+	}
+	opts = append(opts, WithSecret(c.Secret))
+	if c.NoShuffle {
+		opts = append(opts, WithoutShuffle())
+	}
+	return opts
+}
+
+// NewWithConfig builds a Scanner from the legacy Config struct.
+//
+// Deprecated: use New with functional options.
+func NewWithConfig(link Link, cfg Config) *Scanner {
+	return New(link, cfg.Options()...)
+}

@@ -7,9 +7,15 @@
 // Following §4.1 of the paper, TCP RSTs and ICMP Destination Unreachable
 // messages are NOT counted as hits — they prove a router or host exists but
 // not that the probed service does.
+//
+// Scanners are built with functional options (New plus WithRetries,
+// WithWorkers, WithRatePPS, WithBlocklist, WithTelemetry, ...) and scans
+// are cancellable through ScanContext; Scan remains as a context-free
+// wrapper.
 package scanner
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -17,6 +23,7 @@ import (
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/probe"
 	"seedscan/internal/proto"
+	"seedscan/internal/telemetry"
 )
 
 // Link is the wire between the scanner and the Internet (real or
@@ -74,29 +81,6 @@ type Result struct {
 // Active reports whether the result is a hit.
 func (r Result) Active() bool { return r.Status == StatusActive }
 
-// Config tunes a Scanner. Zero values get sensible defaults from New.
-type Config struct {
-	// SourceAddr is the scanner's own address, stamped on probes.
-	SourceAddr ipaddr.Addr
-	// Retries is the number of additional attempts after the first probe
-	// goes unanswered (default 2, i.e. 3 packets total, matching §4.2).
-	Retries int
-	// Workers is the number of concurrent probe workers (default 8).
-	Workers int
-	// RatePPS caps the aggregate probe rate on a virtual clock (default
-	// 10_000, the paper's ethical rate limit). The limiter advances
-	// simulated time rather than sleeping, so experiments stay fast while
-	// the accounting matches a real deployment.
-	RatePPS int
-	// Blocklist holds prefixes that must never be probed (opt-out ranges).
-	Blocklist *ipaddr.Trie
-	// Secret keys the validation cookies and the scan-order shuffle.
-	Secret uint64
-	// NoShuffle disables the ethical scan-order randomization (useful for
-	// deterministic unit tests).
-	NoShuffle bool
-}
-
 // Stats aggregates counters over a scanner's lifetime.
 type Stats struct {
 	PacketsSent   atomic.Int64
@@ -108,33 +92,56 @@ type Stats struct {
 	InvalidCookie atomic.Int64
 }
 
+// protoCounters are the telemetry handles resolved once per protocol so
+// the per-packet hot path never touches the registry's maps.
+type protoCounters struct {
+	sent    *telemetry.Counter
+	retries *telemetry.Counter
+	hits    *telemetry.Counter
+}
+
 // Scanner probes targets over a Link. Safe for concurrent Scan calls.
 type Scanner struct {
 	link  Link
-	cfg   Config
+	set   settings
 	stats Stats
 	rl    *RateLimiter
+
+	// Telemetry handles (nil-safe when no registry is wired).
+	pc         [proto.Count]protoCounters
+	cRecv      *telemetry.Counter
+	cCookieBad *telemetry.Counter
+	cBlocked   *telemetry.Counter
 }
 
-// New builds a Scanner over link.
-func New(link Link, cfg Config) *Scanner {
-	if cfg.Retries == 0 {
-		cfg.Retries = 2
+// New builds a Scanner over link. With no options it matches the paper's
+// §4.2 setup: 2 retries, 8 workers, 10k pps, shuffled scan order.
+func New(link Link, opts ...Option) *Scanner {
+	set := defaultSettings()
+	for _, o := range opts {
+		o(&set)
 	}
-	if cfg.Workers == 0 {
-		cfg.Workers = 8
+	s := &Scanner{link: link, set: set, rl: NewRateLimiter(set.ratePPS)}
+	if reg := set.tele; reg != nil {
+		for _, p := range proto.All {
+			s.pc[p] = protoCounters{
+				sent:    reg.Counter("scanner.probes_sent." + p.String()),
+				retries: reg.Counter("scanner.retries." + p.String()),
+				hits:    reg.Counter("scanner.hits." + p.String()),
+			}
+		}
+		s.cRecv = reg.Counter("scanner.packets_recv")
+		s.cCookieBad = reg.Counter("scanner.cookie_failures")
+		s.cBlocked = reg.Counter("scanner.blocked")
 	}
-	if cfg.RatePPS == 0 {
-		cfg.RatePPS = 10000
-	}
-	if cfg.SourceAddr.IsZero() {
-		cfg.SourceAddr = ipaddr.MustParse("2001:db8:5ca0::1")
-	}
-	return &Scanner{link: link, cfg: cfg, rl: NewRateLimiter(cfg.RatePPS)}
+	return s
 }
 
 // Stats exposes the scanner's counters.
 func (s *Scanner) Stats() *Stats { return &s.stats }
+
+// Telemetry returns the wired metrics registry (nil when none).
+func (s *Scanner) Telemetry() *telemetry.Registry { return s.set.tele }
 
 // VirtualElapsed reports how long the scan would have taken at the
 // configured packet rate.
@@ -142,23 +149,41 @@ func (s *Scanner) VirtualElapsed() float64 { return s.rl.VirtualElapsed() }
 
 // cookie derives the per-target validation cookie.
 func (s *Scanner) cookie(a ipaddr.Addr, p proto.Protocol) uint64 {
-	return mix64(s.cfg.Secret, a.Hi(), a.Lo(), uint64(p))
+	return mix64(s.set.secret, a.Hi(), a.Lo(), uint64(p))
 }
 
 // Scan probes every target on p and returns one Result per unique target.
-// Targets are deduplicated, shuffled (unless NoShuffle), blocklist-filtered,
-// and probed with retries.
+// It is ScanContext with a background context; see there for semantics.
 func (s *Scanner) Scan(targets []ipaddr.Addr, p proto.Protocol) []Result {
-	targets = ipaddr.Dedup(targets)
-	if !s.cfg.NoShuffle {
-		rng := rand.New(rand.NewSource(int64(mix64(s.cfg.Secret, uint64(p), uint64(len(targets))))))
+	res, _ := s.ScanContext(context.Background(), targets, p)
+	return res
+}
+
+// ScanContext probes every target on p and returns one Result per unique
+// target. Targets are deduplicated, shuffled (unless WithoutShuffle),
+// blocklist-filtered, and probed with retries. The caller's slice is never
+// mutated; dedup and shuffle operate on a private copy.
+//
+// Cancelling ctx stops the scan between targets: already-probed results
+// are returned (in scan order) together with ctx.Err().
+func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]Result, error) {
+	// Copy before mutating: callers routinely pass shared seed/candidate
+	// lists, and dedup+shuffle must not silently reorder them between
+	// runs.
+	targets = ipaddr.Dedup(append([]ipaddr.Addr(nil), targets...))
+	if s.set.shuffle {
+		rng := rand.New(rand.NewSource(int64(mix64(s.set.secret, uint64(p), uint64(len(targets))))))
 		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
 	}
+
+	reg := s.set.tele
+	wall := reg.StartTimer("scanner.scan.wall_seconds")
+	virtualStart := s.rl.VirtualElapsed()
 
 	results := make([]Result, len(targets))
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	workers := s.cfg.Workers
+	workers := s.set.workers
 	if workers > len(targets) {
 		workers = len(targets)
 	}
@@ -166,7 +191,7 @@ func (s *Scanner) Scan(targets []ipaddr.Addr, p proto.Protocol) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(targets) {
 					return
@@ -176,7 +201,22 @@ func (s *Scanner) Scan(targets []ipaddr.Addr, p proto.Protocol) []Result {
 		}()
 	}
 	wg.Wait()
-	return results
+
+	if reg != nil {
+		wall.Stop()
+		reg.ObserveDuration("scanner.scan.virtual_seconds", s.rl.VirtualElapsed()-virtualStart)
+		reg.Gauge("scanner.ratelimit.virtual_elapsed_seconds").Set(s.rl.VirtualElapsed())
+	}
+	if err := ctx.Err(); err != nil {
+		// Workers claim indices in order, and every claimed index below
+		// len(targets) was fully probed before the worker exited.
+		probed := int(next.Load())
+		if probed > len(targets) {
+			probed = len(targets)
+		}
+		return results[:probed], err
+	}
+	return results, nil
 }
 
 // ScanActive is a convenience wrapper returning only hit addresses.
@@ -190,31 +230,39 @@ func (s *Scanner) ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.A
 	return out
 }
 
-// probeOne sends up to 1+Retries probes to one target and classifies the
+// probeOne sends up to 1+retries probes to one target and classifies the
 // outcome.
 func (s *Scanner) probeOne(dst ipaddr.Addr, p proto.Protocol) Result {
 	res := Result{Addr: dst, Proto: p}
-	if s.cfg.Blocklist != nil && s.cfg.Blocklist.Contains(dst) {
+	if s.set.blocklist != nil && s.set.blocklist.Contains(dst) {
 		res.Status = StatusBlocked
 		s.stats.Blocked.Add(1)
+		s.cBlocked.Inc()
 		return res
 	}
 	c := s.cookie(dst, p)
-	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
+	for attempt := 0; attempt <= s.set.retries; attempt++ {
 		res.Attempts = attempt + 1
 		s.rl.Take()
 		pkt := s.buildProbe(dst, p, c, attempt)
 		s.stats.PacketsSent.Add(1)
+		s.pc[p].sent.Inc()
+		if attempt > 0 {
+			s.pc[p].retries.Inc()
+		}
 		for _, raw := range s.link.Exchange(pkt) {
 			s.stats.PacketsRecv.Add(1)
+			s.cRecv.Inc()
 			st, ok := s.classify(raw, dst, p, c, attempt)
 			if !ok {
 				s.stats.InvalidCookie.Add(1)
+				s.cCookieBad.Inc()
 				continue
 			}
 			switch st {
 			case StatusActive:
 				s.stats.Hits.Add(1)
+				s.pc[p].hits.Inc()
 			case StatusRST:
 				s.stats.RSTs.Add(1)
 			case StatusUnreachable:
@@ -235,13 +283,13 @@ func (s *Scanner) buildProbe(dst ipaddr.Addr, p proto.Protocol, cookie uint64, a
 	case proto.ICMP:
 		var payload [8]byte
 		putUint64(payload[:], cookie)
-		return probe.BuildEchoRequest(s.cfg.SourceAddr, dst,
+		return probe.BuildEchoRequest(s.set.source, dst,
 			uint16(cookie>>48), uint16(attempt), payload[:])
 	case proto.TCP80, proto.TCP443:
-		return probe.BuildTCPSyn(s.cfg.SourceAddr, dst,
+		return probe.BuildTCPSyn(s.set.source, dst,
 			srcPortFor(cookie), p.Port(), uint32(cookie)+uint32(attempt))
 	case proto.UDP53:
-		q, err := probe.BuildDNSQuery(s.cfg.SourceAddr, dst,
+		q, err := probe.BuildDNSQuery(s.set.source, dst,
 			srcPortFor(cookie), uint16(cookie)^uint16(attempt*7+1), "liveness.seedscan.example")
 		if err != nil {
 			panic("scanner: impossible DNS build failure: " + err.Error())
@@ -258,7 +306,7 @@ func (s *Scanner) classify(raw []byte, dst ipaddr.Addr, p proto.Protocol, cookie
 	if err != nil {
 		return StatusSilent, false
 	}
-	if pk.Header.Dst != s.cfg.SourceAddr {
+	if pk.Header.Dst != s.set.source {
 		return StatusSilent, false
 	}
 	switch pk.Kind {

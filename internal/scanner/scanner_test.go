@@ -17,7 +17,7 @@ func testWorld(t testing.TB) *world.World {
 func TestScanFindsGroundTruthActives(t *testing.T) {
 	w := testWorld(t)
 	w.SetEpoch(world.CollectEpoch)
-	s := New(w.Link(), Config{Secret: 99})
+	s := New(w.Link(), WithSecret(99))
 
 	for _, p := range proto.All {
 		samp := w.NewSampler(uint64(p) + 500)
@@ -43,7 +43,7 @@ func TestScanFindsGroundTruthActives(t *testing.T) {
 func TestScanRejectsInactives(t *testing.T) {
 	w := testWorld(t)
 	w.SetEpoch(world.CollectEpoch)
-	s := New(w.Link(), Config{Secret: 99})
+	s := New(w.Link(), WithSecret(99))
 
 	// Unrouted space must never produce hits.
 	var targets []ipaddr.Addr
@@ -67,7 +67,7 @@ func TestScanRejectsInactives(t *testing.T) {
 func TestRSTAndUnreachableAreNotHits(t *testing.T) {
 	w := testWorld(t)
 	w.SetEpoch(world.CollectEpoch)
-	s := New(w.Link(), Config{Secret: 7})
+	s := New(w.Link(), WithSecret(7))
 
 	// Probe existing hosts on TCP80; those not listening must come back
 	// RST or silent, never active.
@@ -102,7 +102,7 @@ func TestRSTAndUnreachableAreNotHits(t *testing.T) {
 func TestUnreachableClassified(t *testing.T) {
 	w := testWorld(t)
 	w.SetEpoch(world.CollectEpoch)
-	s := New(w.Link(), Config{Secret: 7})
+	s := New(w.Link(), WithSecret(7))
 
 	// Dead in-template addresses inside regions that send unreachables.
 	var targets []ipaddr.Addr
@@ -148,7 +148,7 @@ func TestBlocklistHonoured(t *testing.T) {
 
 	bl := ipaddr.NewTrie()
 	bl.Insert(ipaddr.PrefixFrom(active[0], 128), nil)
-	s := New(w.Link(), Config{Secret: 3, Blocklist: bl})
+	s := New(w.Link(), WithSecret(3), WithBlocklist(bl))
 	res := s.Scan(active[:1], proto.ICMP)
 	if res[0].Status != StatusBlocked {
 		t.Fatalf("status = %v, want blocked", res[0].Status)
@@ -171,7 +171,7 @@ func TestRetriesRecoverFromLoss(t *testing.T) {
 	}
 	// With 35% loss and 3 attempts, expected miss rate is 4.3%; with only
 	// one attempt it is 35%.
-	s3 := New(w.Link(), Config{Secret: 5, Retries: 2})
+	s3 := New(w.Link(), WithSecret(5), WithRetries(2))
 	hits3 := len(s3.ScanActive(targets, proto.ICMP))
 	// With 35% loss and 3 attempts the expected miss rate is ~4.3%.
 	if got, want := float64(hits3)/float64(len(targets)), 0.90; got < want {
@@ -187,7 +187,7 @@ func TestScanDedupsTargets(t *testing.T) {
 	if len(a) != 1 {
 		t.Fatal("no active host")
 	}
-	s := New(w.Link(), Config{Secret: 5})
+	s := New(w.Link(), WithSecret(5))
 	res := s.Scan([]ipaddr.Addr{a[0], a[0], a[0]}, proto.ICMP)
 	if len(res) != 1 {
 		t.Fatalf("results = %d, want 1 after dedup", len(res))
@@ -196,21 +196,21 @@ func TestScanDedupsTargets(t *testing.T) {
 
 func TestCookieValidationRejectsForgery(t *testing.T) {
 	w := testWorld(t)
-	s := New(w.Link(), Config{Secret: 21})
+	s := New(w.Link(), WithSecret(21))
 	dst := ipaddr.MustParse("2001:db8::1")
 	c := s.cookie(dst, proto.ICMP)
 
 	// A reply with the wrong cookie payload must not classify as active.
 	var forged [8]byte
 	putUint64(forged[:], c^1)
-	reply := buildForgedEchoReply(s.cfg.SourceAddr, dst, uint16(c>>48), 0, forged[:])
+	reply := buildForgedEchoReply(s.set.source, dst, uint16(c>>48), 0, forged[:])
 	if st, ok := s.classify(reply, dst, proto.ICMP, c, 0); ok && st == StatusActive {
 		t.Fatal("forged cookie accepted")
 	}
 	// The genuine cookie is accepted.
 	var good [8]byte
 	putUint64(good[:], c)
-	reply = buildForgedEchoReply(s.cfg.SourceAddr, dst, uint16(c>>48), 0, good[:])
+	reply = buildForgedEchoReply(s.set.source, dst, uint16(c>>48), 0, good[:])
 	if st, ok := s.classify(reply, dst, proto.ICMP, c, 0); !ok || st != StatusActive {
 		t.Fatal("genuine cookie rejected")
 	}
@@ -219,7 +219,7 @@ func TestCookieValidationRejectsForgery(t *testing.T) {
 func TestVirtualRateAccounting(t *testing.T) {
 	w := testWorld(t)
 	w.SetEpoch(world.CollectEpoch)
-	s := New(w.Link(), Config{Secret: 5, RatePPS: 1000})
+	s := New(w.Link(), WithSecret(5), WithRatePPS(1000))
 	var targets []ipaddr.Addr
 	base := ipaddr.MustParse("3fff::")
 	for i := 0; i < 100; i++ {
@@ -258,7 +258,7 @@ func TestStatsCounters(t *testing.T) {
 			targets = append(targets, a)
 		}
 	}
-	s := New(w.Link(), Config{Secret: 5})
+	s := New(w.Link(), WithSecret(5))
 	s.Scan(targets, proto.ICMP)
 	if got := s.Stats().Hits.Load(); got != int64(len(targets)) {
 		t.Fatalf("hits = %d, want %d", got, len(targets))

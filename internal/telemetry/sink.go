@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// JSONLSink writes one JSON object per event to a writer — the trace
+// format behind the CLIs' -trace flag. Events from concurrent goroutines
+// are serialized; output is line-buffered and flushed on Close.
+type JSONLSink struct {
+	mu    sync.Mutex
+	buf   *bufio.Writer
+	owned io.Closer // closed by Close when the sink opened the file itself
+}
+
+// NewJSONLSink wraps an existing writer. The caller keeps ownership of w;
+// Close flushes but does not close it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{buf: bufio.NewWriter(w)}
+}
+
+// CreateJSONLFile creates (truncating) a trace file owned by the sink.
+func CreateJSONLFile(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: create trace: %w", err)
+	}
+	return &JSONLSink{buf: bufio.NewWriter(f), owned: f}, nil
+}
+
+// Emit writes one event line. Marshalling errors are swallowed: telemetry
+// must never fail the pipeline it observes.
+func (s *JSONLSink) Emit(ev Event) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.buf.Write(b)
+	s.buf.WriteByte('\n')
+	s.mu.Unlock()
+}
+
+// Close flushes buffered lines and closes the file if the sink owns one.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.buf.Flush()
+	if s.owned != nil {
+		if cerr := s.owned.Close(); err == nil {
+			err = cerr
+		}
+		s.owned = nil
+	}
+	return err
+}
+
+// ReadEvents parses a JSONL trace back into events — the read half of the
+// round-trip, used by tests and trace tooling.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return out, fmt.Errorf("telemetry: bad trace line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+// SummarySink aggregates span durations by name in memory; Render prints a
+// compact per-stage table. It backs the CLIs' -metrics flag without
+// requiring a trace file.
+type SummarySink struct {
+	mu     sync.Mutex
+	spans  map[string]*spanAgg
+	events int
+}
+
+type spanAgg struct {
+	count int
+	total float64 // milliseconds
+	max   float64
+}
+
+// NewSummarySink returns an empty summary aggregator.
+func NewSummarySink() *SummarySink {
+	return &SummarySink{spans: make(map[string]*spanAgg)}
+}
+
+// Emit aggregates span_end events and counts the rest.
+func (s *SummarySink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events++
+	if ev.Type != "span_end" {
+		return
+	}
+	a := s.spans[ev.Name]
+	if a == nil {
+		a = &spanAgg{}
+		s.spans[ev.Name] = a
+	}
+	a.count++
+	a.total += ev.DurationMS
+	if ev.DurationMS > a.max {
+		a.max = ev.DurationMS
+	}
+}
+
+// Close is a no-op; the sink keeps its aggregates for Render.
+func (s *SummarySink) Close() error { return nil }
+
+// Render formats the span aggregates, sorted by total time descending.
+func (s *SummarySink) Render() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.spans))
+	for n := range s.spans {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if s.spans[names[i]].total != s.spans[names[j]].total {
+			return s.spans[names[i]].total > s.spans[names[j]].total
+		}
+		return names[i] < names[j]
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "telemetry spans (%d events)\n", s.events)
+	sb.WriteString(strings.Repeat("-", 60))
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "  %-28s %8s %12s %12s\n", "span", "count", "total ms", "max ms")
+	for _, n := range names {
+		a := s.spans[n]
+		fmt.Fprintf(&sb, "  %-28s %8d %12.2f %12.2f\n", n, a.count, a.total, a.max)
+	}
+	return sb.String()
+}

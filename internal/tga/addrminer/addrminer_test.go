@@ -17,7 +17,7 @@ func setup(t testing.TB) (*world.World, *scanner.Scanner, []ipaddr.Addr) {
 	samp := w.NewSampler(500)
 	seeds := samp.Hosts(2000)
 	w.SetEpoch(world.ScanEpoch)
-	return w, scanner.New(w.Link(), scanner.Config{Secret: 5}), seeds
+	return w, scanner.New(w.Link(), scanner.WithSecret(5)), seeds
 }
 
 func TestMetadata(t *testing.T) {

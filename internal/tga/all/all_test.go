@@ -20,7 +20,7 @@ import (
 func setup(t testing.TB) (*world.World, *scanner.Scanner, []ipaddr.Addr) {
 	t.Helper()
 	w := world.New(world.Config{Seed: 42, NumASes: 60, LossRate: 0})
-	sc := scanner.New(w.Link(), scanner.Config{Secret: 5})
+	sc := scanner.New(w.Link(), scanner.WithSecret(5))
 	samp := w.NewSampler(1000)
 	seeds := samp.Hosts(4000)
 	if len(seeds) < 3000 {

@@ -1,0 +1,159 @@
+package tga
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
+	"seedscan/internal/telemetry"
+)
+
+// cancellingProber cancels the run after a fixed number of scan calls.
+type cancellingProber struct {
+	cancel context.CancelFunc
+	after  int
+	calls  int
+}
+
+func (p *cancellingProber) Scan(ts []ipaddr.Addr, pr proto.Protocol) []scanner.Result {
+	p.calls++
+	if p.calls >= p.after {
+		p.cancel()
+	}
+	out := make([]scanner.Result, len(ts))
+	for i, a := range ts {
+		out[i] = scanner.Result{Addr: a, Proto: pr}
+	}
+	return out
+}
+
+func manyAddrs(n int) []ipaddr.Addr {
+	base := ipaddr.MustParse("2001:db8::")
+	out := make([]ipaddr.Addr, n)
+	for i := range out {
+		out[i] = base.AddLo(uint64(i))
+	}
+	return out
+}
+
+func TestRunContextCancelsBetweenBatches(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &staticGen{addrs: manyAddrs(1000)}
+	pr := &cancellingProber{cancel: cancel, after: 2}
+	res, err := RunContext(ctx, g, nil, RunConfig{Budget: 1000, BatchSize: 100, Prober: pr})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Generated != 200 {
+		t.Fatalf("partial result generated = %v, want 200 (2 batches)", res)
+	}
+	if pr.calls != 2 {
+		t.Fatalf("prober calls = %d, want 2", pr.calls)
+	}
+}
+
+// ctxProber verifies the driver routes through ScanContext when offered.
+type ctxProber struct {
+	nullProber
+	ctxCalls int
+}
+
+func (p *ctxProber) ScanContext(ctx context.Context, ts []ipaddr.Addr, pr proto.Protocol) ([]scanner.Result, error) {
+	p.ctxCalls++
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.Scan(ts, pr), nil
+}
+
+func TestRunContextPrefersContextProber(t *testing.T) {
+	g := &staticGen{addrs: manyAddrs(64)}
+	pr := &ctxProber{}
+	if _, err := RunContext(context.Background(), g, nil,
+		RunConfig{Budget: 64, BatchSize: 16, Prober: pr}); err != nil {
+		t.Fatal(err)
+	}
+	if pr.ctxCalls == 0 {
+		t.Fatal("ScanContext never used")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := &staticGen{addrs: manyAddrs(10)}
+	res, err := RunContext(ctx, g, nil, RunConfig{Budget: 10, Prober: &nullProber{}})
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Generated != 0 {
+		t.Fatalf("generated = %d", res.Generated)
+	}
+}
+
+// collectSink gathers events for span assertions.
+type collectSink struct {
+	mu     sync.Mutex
+	events []telemetry.Event
+}
+
+func (c *collectSink) Emit(ev telemetry.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+func (c *collectSink) Close() error { return nil }
+
+func TestRunContextEmitsNestedStageSpans(t *testing.T) {
+	sink := &collectSink{}
+	tr := telemetry.NewTracer(nil, sink)
+	ctx := telemetry.NewContext(context.Background(), tr)
+
+	g := &staticGen{addrs: manyAddrs(64)}
+	if _, err := RunContext(ctx, g, nil,
+		RunConfig{Budget: 64, BatchSize: 32, Prober: &nullProber{}}); err != nil {
+		t.Fatal(err)
+	}
+
+	starts := map[string][]telemetry.Event{}
+	for _, ev := range sink.events {
+		if ev.Type == "span_start" {
+			starts[ev.Name] = append(starts[ev.Name], ev)
+		}
+	}
+	if len(starts["run"]) != 1 {
+		t.Fatalf("run spans = %d", len(starts["run"]))
+	}
+	if len(starts["batch"]) < 2 {
+		t.Fatalf("batch spans = %d, want >= 2", len(starts["batch"]))
+	}
+	runID := starts["run"][0].Span
+	batchIDs := map[int64]bool{}
+	for _, b := range starts["batch"] {
+		if b.Parent != runID {
+			t.Fatalf("batch parent = %d, want run %d", b.Parent, runID)
+		}
+		batchIDs[b.Span] = true
+	}
+	for _, stage := range []string{"generate", "scan", "feedback"} {
+		if len(starts[stage]) == 0 {
+			t.Fatalf("no %s spans", stage)
+		}
+		for _, ev := range starts[stage] {
+			if !batchIDs[ev.Parent] {
+				t.Fatalf("%s span not nested under a batch", stage)
+			}
+		}
+	}
+	// tga.* counters accumulate in the tracer's registry.
+	if got := tr.Registry().Counter("tga.generated").Load(); got != 64 {
+		t.Fatalf("tga.generated = %d", got)
+	}
+	if tr.Registry().Counter("tga.batches").Load() < 2 {
+		t.Fatal("tga.batches not counted")
+	}
+}

@@ -12,12 +12,14 @@
 package tga
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
+	"seedscan/internal/telemetry"
 )
 
 // ProbeResult tells an online generator how one of its candidates fared.
@@ -51,6 +53,13 @@ type Generator interface {
 // Prober abstracts the scanner for the driver.
 type Prober interface {
 	Scan(targets []ipaddr.Addr, p proto.Protocol) []scanner.Result
+}
+
+// ContextProber is the cancellable prober surface. When a RunConfig's
+// Prober also implements it (as *scanner.Scanner does), the driver routes
+// scans through ScanContext so an in-flight scan stops with the run.
+type ContextProber interface {
+	ScanContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]scanner.Result, error)
 }
 
 // Dealiaser abstracts output dealiasing for the driver.
@@ -94,15 +103,49 @@ type RunResult struct {
 func (r *RunResult) HitSet() *ipaddr.Set { return ipaddr.NewSet(r.Hits...) }
 
 // Run drives g: Init with seeds, then batches of generate→scan→feedback
-// until the budget is reached or the generator is exhausted.
+// until the budget is reached or the generator is exhausted. It is
+// RunContext with a background context.
 func Run(g Generator, seeds []ipaddr.Addr, cfg RunConfig) (*RunResult, error) {
+	return RunContext(context.Background(), g, seeds, cfg)
+}
+
+// RunContext drives g under ctx: Init with seeds, then batches of
+// generate→scan→feedback until the budget is reached, the generator is
+// exhausted, or ctx is cancelled. On cancellation the partial result
+// gathered so far is returned together with ctx.Err().
+//
+// When ctx carries a telemetry tracer (telemetry.NewContext), the driver
+// emits a span hierarchy — run → batch → generate/scan/dealias/feedback —
+// with per-batch budget consumption, and accumulates tga.* counters in the
+// tracer's registry.
+func RunContext(ctx context.Context, g Generator, seeds []ipaddr.Addr, cfg RunConfig) (*RunResult, error) {
 	if cfg.Budget <= 0 {
 		return nil, fmt.Errorf("tga: budget must be positive, got %d", cfg.Budget)
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 4096
 	}
+	ctx, runSpan := telemetry.StartSpan(ctx, "run", telemetry.Attrs{
+		"generator": g.Name(),
+		"proto":     cfg.Proto.String(),
+		"budget":    cfg.Budget,
+		"batch":     cfg.BatchSize,
+		"seeds":     len(seeds),
+	})
+	reg := telemetry.FromContext(ctx).Registry()
+	res := &RunResult{Generator: g.Name(), Proto: cfg.Proto}
+	endRun := func(err error) {
+		runSpan.EndWith(telemetry.Attrs{
+			"generated": res.Generated,
+			"hits":      len(res.Hits),
+			"aliased":   len(res.AliasedHits),
+			"exhausted": res.Exhausted,
+			"cancelled": err != nil,
+		})
+	}
+
 	if err := g.Init(sortedCopy(seeds)); err != nil {
+		endRun(err)
 		return nil, fmt.Errorf("tga: init %s: %w", g.Name(), err)
 	}
 
@@ -111,19 +154,25 @@ func Run(g Generator, seeds []ipaddr.Addr, cfg RunConfig) (*RunResult, error) {
 		seedSet.AddAll(seeds)
 	}
 	generated := ipaddr.NewSetCap(cfg.Budget)
-	res := &RunResult{Generator: g.Name(), Proto: cfg.Proto}
 
 	idleRounds := 0
+	batchIdx := 0
 	for generated.Len() < cfg.Budget {
+		if err := ctx.Err(); err != nil {
+			res.Generated = generated.Len()
+			endRun(err)
+			return res, err
+		}
+		batchSpan := runSpan.Child("batch", telemetry.Attrs{"index": batchIdx})
+		batchIdx++
+		reg.Counter("tga.batches").Inc()
+
 		// Always request a full batch, even when little budget remains:
 		// tiny requests starve on seed-or-duplicate candidates (a 1-seed
 		// leaf's first enumeration is the seed itself). Extras beyond the
 		// budget are discarded.
+		genSpan := batchSpan.Child("generate", nil)
 		batch := g.NextBatch(cfg.BatchSize)
-		if len(batch) == 0 {
-			res.Exhausted = true
-			break
-		}
 		rem := cfg.Budget - generated.Len()
 		fresh := make([]ipaddr.Addr, 0, len(batch))
 		for _, a := range batch {
@@ -137,9 +186,18 @@ func Run(g Generator, seeds []ipaddr.Addr, cfg RunConfig) (*RunResult, error) {
 				fresh = append(fresh, a)
 			}
 		}
+		genSpan.EndWith(telemetry.Attrs{"proposed": len(batch), "fresh": len(fresh)})
+		reg.Counter("tga.generated").Add(int64(len(fresh)))
+
+		if len(batch) == 0 {
+			res.Exhausted = true
+			batchSpan.EndWith(telemetry.Attrs{"budget_used": generated.Len(), "exhausted": true})
+			break
+		}
 		if len(fresh) == 0 {
 			// The generator is looping over already-produced addresses.
 			idleRounds++
+			batchSpan.EndWith(telemetry.Attrs{"budget_used": generated.Len(), "idle": true})
 			if idleRounds > 64 {
 				res.Exhausted = true
 				break
@@ -149,23 +207,38 @@ func Run(g Generator, seeds []ipaddr.Addr, cfg RunConfig) (*RunResult, error) {
 		idleRounds = 0
 
 		if cfg.Prober == nil {
+			batchSpan.EndWith(telemetry.Attrs{"budget_used": generated.Len()})
 			continue
 		}
-		results := cfg.Prober.Scan(fresh, cfg.Proto)
+		scanSpan := batchSpan.Child("scan", nil)
+		results, err := scanBatch(ctx, cfg.Prober, fresh, cfg.Proto)
 		var active []ipaddr.Addr
 		for _, r := range results {
 			if r.Active() {
 				active = append(active, r.Addr)
 			}
 		}
+		scanSpan.EndWith(telemetry.Attrs{"targets": len(fresh), "active": len(active)})
+		if err != nil {
+			batchSpan.EndWith(telemetry.Attrs{"budget_used": generated.Len(), "cancelled": true})
+			res.Generated = generated.Len()
+			endRun(err)
+			return res, err
+		}
+
 		clean, aliased := active, []ipaddr.Addr(nil)
 		if cfg.Dealiaser != nil {
+			dealiasSpan := batchSpan.Child("dealias", nil)
 			clean, aliased = cfg.Dealiaser.Split(active)
+			dealiasSpan.EndWith(telemetry.Attrs{"clean": len(clean), "aliased": len(aliased)})
 		}
 		res.Hits = append(res.Hits, clean...)
 		res.AliasedHits = append(res.AliasedHits, aliased...)
+		reg.Counter("tga.hits").Add(int64(len(clean)))
+		reg.Counter("tga.aliased_hits").Add(int64(len(aliased)))
 
 		if g.Online() {
+			fbSpan := batchSpan.Child("feedback", nil)
 			aliasSet := ipaddr.NewSet(aliased...)
 			fb := make([]ProbeResult, len(results))
 			for i, r := range results {
@@ -176,10 +249,26 @@ func Run(g Generator, seeds []ipaddr.Addr, cfg RunConfig) (*RunResult, error) {
 				}
 			}
 			g.Feedback(fb)
+			fbSpan.EndWith(telemetry.Attrs{"results": len(fb)})
 		}
+		batchSpan.EndWith(telemetry.Attrs{
+			"budget_used": generated.Len(),
+			"hits":        len(clean),
+			"aliased":     len(aliased),
+		})
 	}
 	res.Generated = generated.Len()
+	endRun(nil)
 	return res, nil
+}
+
+// scanBatch routes one batch through the prober, using the cancellable
+// surface when available.
+func scanBatch(ctx context.Context, p Prober, targets []ipaddr.Addr, pr proto.Protocol) ([]scanner.Result, error) {
+	if cp, ok := p.(ContextProber); ok {
+		return cp.ScanContext(ctx, targets, pr)
+	}
+	return p.Scan(targets, pr), nil
 }
 
 // sortedCopy hands generators their seeds in a canonical order. Several
