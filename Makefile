@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench cover experiments clean
+.PHONY: all build vet test race bench bench-scanner cover experiments clean
 
 all: vet build test
 
@@ -20,6 +20,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Regenerate the committed scanner hot-path baseline (see README.md for
+# the JSON format). Fails if the batched path drops below 2x the legacy
+# per-packet dispatch shape.
+bench-scanner:
+	$(GO) test -run '^TestWriteScannerBenchBaseline$$' -count=1 -v \
+		-scanner-bench-out BENCH_scanner.json .
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

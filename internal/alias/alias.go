@@ -97,9 +97,14 @@ type Dealiaser struct {
 
 	mu      sync.Mutex
 	verdict map[ipaddr.Prefix]bool // online /96 verdict cache
-	probes  int
-	tested  int
-	rngSeed uint64
+	// inflight holds a done-channel per /96 currently being online-tested,
+	// closed when its verdict lands. Claiming a prefix here under mu is
+	// what guarantees each /96 is tested exactly once even when concurrent
+	// Split calls observe it as unknown simultaneously.
+	inflight map[ipaddr.Prefix]chan struct{}
+	probes   int
+	tested   int
+	rngSeed  uint64
 
 	// Telemetry counters; all nil-safe, so an unwired Dealiaser pays only
 	// a no-op method call.
@@ -113,12 +118,13 @@ type Dealiaser struct {
 // prober may be nil for ModeNone/ModeOffline.
 func New(mode Mode, offline *OfflineList, prober Prober, p proto.Protocol, seed uint64) *Dealiaser {
 	return &Dealiaser{
-		mode:    mode,
-		offline: offline,
-		prober:  prober,
-		proto:   p,
-		verdict: make(map[ipaddr.Prefix]bool),
-		rngSeed: seed,
+		mode:     mode,
+		offline:  offline,
+		prober:   prober,
+		proto:    p,
+		verdict:  make(map[ipaddr.Prefix]bool),
+		inflight: make(map[ipaddr.Prefix]chan struct{}),
+		rngSeed:  seed,
 	}
 }
 
@@ -173,15 +179,21 @@ func (d *Dealiaser) Split(addrs []ipaddr.Addr) (clean, aliased []ipaddr.Addr) {
 		}
 	}
 
-	// Online: gather unknown /96s.
+	// Online: gather unknown /96s. claimUnknown reserves the prefixes this
+	// call will test (singleflight per prefix); prefixes another Split is
+	// already testing come back as wait channels instead, so each /96 is
+	// online-tested exactly once across concurrent calls.
 	byPrefix := make(map[ipaddr.Prefix][]ipaddr.Addr)
 	for _, a := range pending {
 		p := ipaddr.PrefixFrom(a, AliasPrefixBits)
 		byPrefix[p] = append(byPrefix[p], a)
 	}
-	unknown := d.unknownPrefixes(byPrefix)
-	if len(unknown) > 0 {
-		d.testPrefixes(unknown)
+	claimed, waits := d.claimUnknown(byPrefix)
+	if len(claimed) > 0 {
+		d.testPrefixes(claimed)
+	}
+	for _, ch := range waits {
+		<-ch
 	}
 
 	d.mu.Lock()
@@ -203,39 +215,59 @@ func (d *Dealiaser) IsAliased(a ipaddr.Addr) bool {
 	return len(aliased) == 1
 }
 
-func (d *Dealiaser) unknownPrefixes(byPrefix map[ipaddr.Prefix][]ipaddr.Addr) []ipaddr.Prefix {
+// claimUnknown partitions byPrefix's prefixes under the mutex: prefixes
+// with no verdict and no in-flight test are claimed for this caller (and
+// marked in-flight); prefixes another call is already testing come back as
+// channels to wait on. Cached or in-flight-elsewhere prefixes count as
+// cache hits — only a claim is a miss.
+func (d *Dealiaser) claimUnknown(byPrefix map[ipaddr.Prefix][]ipaddr.Addr) (claimed []ipaddr.Prefix, waits []chan struct{}) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	var unknown []ipaddr.Prefix
 	for p := range byPrefix {
-		if _, ok := d.verdict[p]; !ok {
-			unknown = append(unknown, p)
+		if _, ok := d.verdict[p]; ok {
+			continue
 		}
+		if ch, ok := d.inflight[p]; ok {
+			waits = append(waits, ch)
+			continue
+		}
+		d.inflight[p] = make(chan struct{})
+		claimed = append(claimed, p)
 	}
-	d.cCacheMiss.Add(int64(len(unknown)))
-	d.cCacheHit.Add(int64(len(byPrefix) - len(unknown)))
+	d.mu.Unlock()
+	d.cCacheMiss.Add(int64(len(claimed)))
+	d.cCacheHit.Add(int64(len(byPrefix) - len(claimed)))
 	// Deterministic probe generation order.
-	sort.Slice(unknown, func(i, j int) bool {
-		if unknown[i].Addr() != unknown[j].Addr() {
-			return unknown[i].Addr().Less(unknown[j].Addr())
+	sort.Slice(claimed, func(i, j int) bool {
+		if claimed[i].Addr() != claimed[j].Addr() {
+			return claimed[i].Addr().Less(claimed[j].Addr())
 		}
-		return unknown[i].Bits() < unknown[j].Bits()
+		return claimed[i].Bits() < claimed[j].Bits()
 	})
-	return unknown
+	return claimed, waits
 }
 
-// testPrefixes probes ProbesPerPrefix random addresses in each prefix and
-// records verdicts.
+// probeHostBits derives the deterministic "random" host bits for probe k
+// of a prefix. A package variable so tests can force address collisions.
+var probeHostBits = func(seed uint64, p ipaddr.Prefix, salt uint64) uint64 {
+	return mix64(seed, p.Addr().Hi(), p.Addr().Lo(), salt)
+}
+
+// testPrefixes probes ProbesPerPrefix random addresses in each claimed
+// prefix and records verdicts, releasing the in-flight claims. Every
+// prefix gets exactly ProbesPerPrefix distinct probe addresses: when a
+// generated address collides with an earlier one the salt is re-rolled
+// until unique, so no prefix is silently judged on fewer probes than the
+// AliasThreshold assumes.
 func (d *Dealiaser) testPrefixes(prefixes []ipaddr.Prefix) {
 	targets := make([]ipaddr.Addr, 0, len(prefixes)*ProbesPerPrefix)
 	owner := make(map[ipaddr.Addr]ipaddr.Prefix, cap(targets))
 	for _, p := range prefixes {
 		for k := 0; k < ProbesPerPrefix; k++ {
-			// Deterministic "random" probe addresses within the /96.
-			h := mix64(d.rngSeed, p.Addr().Hi(), p.Addr().Lo(), uint64(k))
-			a := p.Overlay(ipaddr.AddrFrom64s(0, h))
-			if _, dup := owner[a]; dup {
-				continue
+			salt := uint64(k)
+			a := p.Overlay(ipaddr.AddrFrom64s(0, probeHostBits(d.rngSeed, p, salt)))
+			for _, dup := owner[a]; dup; _, dup = owner[a] {
+				salt += ProbesPerPrefix
+				a = p.Overlay(ipaddr.AddrFrom64s(0, probeHostBits(d.rngSeed, p, salt)))
 			}
 			owner[a] = p
 			targets = append(targets, a)
@@ -256,6 +288,10 @@ func (d *Dealiaser) testPrefixes(prefixes []ipaddr.Prefix) {
 	d.tested += len(prefixes)
 	for _, p := range prefixes {
 		d.verdict[p] = activeCount[p] >= AliasThreshold
+		if ch, ok := d.inflight[p]; ok {
+			close(ch)
+			delete(d.inflight, p)
+		}
 	}
 	d.mu.Unlock()
 }

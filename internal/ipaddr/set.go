@@ -135,14 +135,40 @@ func (s *Set) Filter(keep func(Addr) bool) *Set {
 
 // Dedup returns the unique addresses of addrs, preserving first-seen order.
 func Dedup(addrs []Addr) []Addr {
-	seen := make(map[Addr]struct{}, len(addrs))
-	out := addrs[:0:0]
+	// Flat open addressing instead of a Go map: the scanner dedups every
+	// target list on its hot path, and hashing 16-byte keys through the
+	// runtime map dominates for large lists. Slots hold index+1 into out
+	// (0 = empty), so the table is a single int32 allocation.
+	size := 1
+	for size < 2*len(addrs) {
+		size <<= 1
+	}
+	mask := uint64(size - 1)
+	table := make([]int32, size)
+	out := make([]Addr, 0, len(addrs))
 	for _, a := range addrs {
-		if _, ok := seen[a]; ok {
-			continue
+		h := dedupHash(a) & mask
+		for {
+			idx := table[h]
+			if idx == 0 {
+				table[h] = int32(len(out) + 1)
+				out = append(out, a)
+				break
+			}
+			if out[idx-1] == a {
+				break
+			}
+			h = (h + 1) & mask
 		}
-		seen[a] = struct{}{}
-		out = append(out, a)
 	}
 	return out
+}
+
+// dedupHash folds an address to a table slot with two rounds of multiply-
+// xor-shift mixing — enough to spread the structured low bits real target
+// lists have (sequential hosts in one /64).
+func dedupHash(a Addr) uint64 {
+	h := a.hi*0x9e3779b97f4a7c15 ^ a.lo*0xbf58476d1ce4e5b9
+	h = (h ^ h>>29) * 0x94d049bb133111eb
+	return h ^ h>>32
 }

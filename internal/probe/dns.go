@@ -30,16 +30,39 @@ func BuildDNSQuery(src, dst ipaddr.Addr, srcPort, txid uint16, qname string) ([]
 	if err != nil {
 		return nil, err
 	}
-	msg := make([]byte, dnsHeaderLen+len(q)+4)
+	return AppendDNSQueryWire(nil, src, dst, srcPort, txid, q), nil
+}
+
+// AppendDNSQueryWire appends a UDP/53 DNS query (AAAA, IN) for an already
+// wire-encoded name (see EncodeName) to buf and returns the extended
+// slice. Pre-encoding the name once and passing a reused scratch buffer
+// builds the packet without allocating.
+func AppendDNSQueryWire(buf []byte, src, dst ipaddr.Addr, srcPort, txid uint16, wireName []byte) []byte {
+	msgLen := dnsHeaderLen + len(wireName) + 4
+	buf, pkt := grow(buf, IPv6HeaderLen+udpHeaderLen+msgLen)
+	putIPv6Header(pkt, src, dst, ProtoUDP, udpHeaderLen+msgLen)
+	l4 := pkt[IPv6HeaderLen:]
+	binary.BigEndian.PutUint16(l4[0:2], srcPort)
+	binary.BigEndian.PutUint16(l4[2:4], 53)
+	binary.BigEndian.PutUint16(l4[4:6], uint16(len(l4)))
+	l4[6], l4[7] = 0, 0 // checksum below (grow does not zero)
+	msg := l4[udpHeaderLen:]
 	binary.BigEndian.PutUint16(msg[0:2], txid)
 	msg[2] = 0x01 // RD
+	msg[3] = 0
 	binary.BigEndian.PutUint16(msg[4:6], 1)
-	copy(msg[dnsHeaderLen:], q)
-	off := dnsHeaderLen + len(q)
+	msg[6], msg[7], msg[8], msg[9], msg[10], msg[11] = 0, 0, 0, 0, 0, 0 // AN/NS/AR counts
+	copy(msg[dnsHeaderLen:], wireName)
+	off := dnsHeaderLen + len(wireName)
 	binary.BigEndian.PutUint16(msg[off:off+2], dnsTypeAAAA)
 	binary.BigEndian.PutUint16(msg[off+2:off+4], dnsClassIN)
-	return buildUDP(src, dst, srcPort, 53, msg), nil
+	binary.BigEndian.PutUint16(l4[6:8], checksum(src, dst, ProtoUDP, l4))
+	return buf
 }
+
+// EncodeName converts "a.example.com" to DNS wire-format labels — the
+// pre-encoding step for AppendDNSQueryWire.
+func EncodeName(name string) ([]byte, error) { return encodeName(name) }
 
 // BuildDNSResponse constructs the matching response: QR set, question
 // echoed, zero answers (a REFUSED-style reply — enough to count liveness).

@@ -25,28 +25,35 @@ const (
 // BuildEchoRequest constructs an ICMPv6 Echo Request datagram. The payload
 // typically carries the scanner's validation cookie.
 func BuildEchoRequest(src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
-	return buildEcho(icmpTypeEchoRequest, src, dst, id, seq, payload)
+	return appendEcho(nil, icmpTypeEchoRequest, src, dst, id, seq, payload)
+}
+
+// AppendEchoRequest appends an ICMPv6 Echo Request datagram to buf and
+// returns the extended slice. Passing a reused scratch buffer builds the
+// packet without allocating.
+func AppendEchoRequest(buf []byte, src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
+	return appendEcho(buf, icmpTypeEchoRequest, src, dst, id, seq, payload)
 }
 
 // BuildEchoReply constructs the matching ICMPv6 Echo Reply, echoing id,
 // seq, and payload per RFC 4443 §4.2.
 func BuildEchoReply(src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
-	return buildEcho(icmpTypeEchoReply, src, dst, id, seq, payload)
+	return appendEcho(nil, icmpTypeEchoReply, src, dst, id, seq, payload)
 }
 
-func buildEcho(typ uint8, src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
-	l4 := make([]byte, 8+len(payload))
+func appendEcho(buf []byte, typ uint8, src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
+	l4len := 8 + len(payload)
+	buf, pkt := grow(buf, IPv6HeaderLen+l4len)
+	putIPv6Header(pkt, src, dst, ProtoICMPv6, l4len)
+	l4 := pkt[IPv6HeaderLen:]
 	l4[0] = typ
-	l4[1] = 0 // code
+	l4[1] = 0           // code
+	l4[2], l4[3] = 0, 0 // checksum below (grow does not zero)
 	binary.BigEndian.PutUint16(l4[4:6], id)
 	binary.BigEndian.PutUint16(l4[6:8], seq)
 	copy(l4[8:], payload)
 	binary.BigEndian.PutUint16(l4[2:4], checksum(src, dst, ProtoICMPv6, l4))
-
-	pkt := make([]byte, IPv6HeaderLen+len(l4))
-	putIPv6Header(pkt, src, dst, ProtoICMPv6, len(l4))
-	copy(pkt[IPv6HeaderLen:], l4)
-	return pkt
+	return buf
 }
 
 // BuildUnreachable constructs an ICMPv6 Destination Unreachable message

@@ -22,6 +22,13 @@ func BuildTCPSyn(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq uint32) []by
 	return buildTCP(src, dst, srcPort, dstPort, seq, 0, tcpFlagSyn)
 }
 
+// AppendTCPSyn appends a TCP SYN probe to buf and returns the extended
+// slice. Passing a reused scratch buffer builds the packet without
+// allocating.
+func AppendTCPSyn(buf []byte, src, dst ipaddr.Addr, srcPort, dstPort uint16, seq uint32) []byte {
+	return appendTCP(buf, src, dst, srcPort, dstPort, seq, 0, tcpFlagSyn)
+}
+
 // BuildTCPSynAck constructs the SYN-ACK a listening port answers with:
 // ack must be the probe's seq+1.
 func BuildTCPSynAck(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32) []byte {
@@ -35,7 +42,13 @@ func BuildTCPRst(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32)
 }
 
 func buildTCP(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32, flags uint8) []byte {
-	l4 := make([]byte, tcpHeaderLen)
+	return appendTCP(nil, src, dst, srcPort, dstPort, seq, ack, flags)
+}
+
+func appendTCP(buf []byte, src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32, flags uint8) []byte {
+	buf, pkt := grow(buf, IPv6HeaderLen+tcpHeaderLen)
+	putIPv6Header(pkt, src, dst, ProtoTCP, tcpHeaderLen)
+	l4 := pkt[IPv6HeaderLen:]
 	binary.BigEndian.PutUint16(l4[0:2], srcPort)
 	binary.BigEndian.PutUint16(l4[2:4], dstPort)
 	binary.BigEndian.PutUint32(l4[4:8], seq)
@@ -43,12 +56,10 @@ func buildTCP(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32, fl
 	l4[12] = (tcpHeaderLen / 4) << 4 // data offset
 	l4[13] = flags
 	binary.BigEndian.PutUint16(l4[14:16], 65535) // window
+	l4[16], l4[17] = 0, 0                        // checksum below
+	l4[18], l4[19] = 0, 0                        // urgent pointer (grow does not zero)
 	binary.BigEndian.PutUint16(l4[16:18], checksum(src, dst, ProtoTCP, l4))
-
-	pkt := make([]byte, IPv6HeaderLen+len(l4))
-	putIPv6Header(pkt, src, dst, ProtoTCP, len(l4))
-	copy(pkt[IPv6HeaderLen:], l4)
-	return pkt
+	return buf
 }
 
 func parseTCP(p Packet, l4 []byte) (Packet, error) {

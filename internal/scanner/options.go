@@ -17,11 +17,18 @@ type settings struct {
 	retries   int
 	workers   int
 	ratePPS   int
+	chunk     int
 	blocklist *ipaddr.Trie
 	secret    uint64
 	shuffle   bool
 	tele      *telemetry.Registry
 }
+
+// defaultChunk is the number of targets a worker claims (and, on a
+// BatchLink, probes per exchange) per loop iteration. Large enough to
+// amortize claim/rate-limit/counter updates, small enough that
+// cancellation still lands promptly and tail chunks stay balanced.
+const defaultChunk = 64
 
 // defaultSettings mirrors §4.2 of the paper: 2 retries (3 packets total),
 // 8 workers, the 10k pps ethical rate cap, shuffled scan order.
@@ -31,6 +38,7 @@ func defaultSettings() settings {
 		retries: 2,
 		workers: 8,
 		ratePPS: 10000,
+		chunk:   defaultChunk,
 		shuffle: true,
 	}
 }
@@ -70,6 +78,19 @@ func WithRatePPS(pps int) Option {
 			pps = 1
 		}
 		s.ratePPS = pps
+	}
+}
+
+// WithProbeChunk sets how many targets a worker claims per loop iteration
+// — the batch size handed to a BatchLink per exchange (minimum 1; 1 forces
+// per-packet dispatch even on a batched link). Scan results are identical
+// for any chunk size; only dispatch amortization changes.
+func WithProbeChunk(n int) Option {
+	return func(s *settings) {
+		if n < 1 {
+			n = 1
+		}
+		s.chunk = n
 	}
 }
 

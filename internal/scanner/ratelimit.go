@@ -1,6 +1,6 @@
 package scanner
 
-import "sync"
+import "sync/atomic"
 
 // RateLimiter implements the paper's ethical probe-rate cap (10k pps) on a
 // virtual clock: instead of sleeping, it advances simulated time by one
@@ -8,10 +8,14 @@ import "sync"
 // VirtualElapsed reports how long the scan would take on real hardware —
 // the figure EXPERIMENTS.md quotes when comparing against the paper's
 // two-month scanning window.
+//
+// The clock is a single atomic packet counter multiplied by the fixed gap,
+// so Take and TakeN are lock-free: eight workers taking concurrently never
+// serialize on a mutex, they only contend on one cache line for the
+// duration of an atomic add.
 type RateLimiter struct {
-	mu      sync.Mutex
-	gap     float64 // seconds per packet
-	elapsed float64 // virtual seconds consumed
+	gap float64      // seconds per packet
+	n   atomic.Int64 // packets accounted so far
 }
 
 // NewRateLimiter caps at pps packets per second.
@@ -25,16 +29,22 @@ func NewRateLimiter(pps int) *RateLimiter {
 // Take accounts for one packet and returns the virtual send time in
 // seconds since the limiter was created.
 func (r *RateLimiter) Take() float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	t := r.elapsed
-	r.elapsed += r.gap
-	return t
+	return float64(r.n.Add(1)-1) * r.gap
 }
+
+// TakeN accounts for n packets at once — the batched hot path's amortized
+// Take — and returns the virtual send time of the first of them.
+func (r *RateLimiter) TakeN(n int) float64 {
+	return float64(r.n.Add(int64(n))-int64(n)) * r.gap
+}
+
+// Gap returns the inter-packet gap in seconds (1/pps).
+func (r *RateLimiter) Gap() float64 { return r.gap }
+
+// Packets returns how many packets have been accounted so far.
+func (r *RateLimiter) Packets() int64 { return r.n.Load() }
 
 // VirtualElapsed returns the total virtual seconds consumed so far.
 func (r *RateLimiter) VirtualElapsed() float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.elapsed
+	return float64(r.n.Load()) * r.gap
 }

@@ -12,10 +12,17 @@
 // WithWorkers, WithRatePPS, WithBlocklist, WithTelemetry, ...) and scans
 // are cancellable through ScanContext; Scan remains as a context-free
 // wrapper.
+//
+// The per-packet hot path is contention-free: the rate limiter is an
+// atomic virtual clock (no mutex), counters are sharded per worker and
+// merged on read, probes are built into reused per-worker scratch buffers,
+// and links that implement BatchLink receive whole chunks of probes per
+// exchange instead of one interface call per packet.
 package scanner
 
 import (
 	"context"
+	"encoding/binary"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -28,10 +35,25 @@ import (
 
 // Link is the wire between the scanner and the Internet (real or
 // simulated): send one packet, collect whatever comes back for it.
-// Implementations must be safe for concurrent use.
+// Implementations must be safe for concurrent use and must not retain pkt
+// past the call — the scanner reuses its probe buffers.
 type Link interface {
 	Exchange(pkt []byte) [][]byte
 }
+
+// BatchLink is the batched wire: one call exchanges a whole chunk of
+// packets, returning one reply set per packet (replies[i] answers
+// pkts[i]). Links that implement it let the scanner amortize per-packet
+// dispatch — rate-limiter and counter updates happen once per chunk — so
+// stateless links (internal/world's WireLink) should always provide it.
+// The same retention rule as Link applies to every packet in pkts.
+type BatchLink interface {
+	Link
+	ExchangeBatch(pkts [][]byte) [][][]byte
+}
+
+// dnsQueryName is the fixed liveness qname stamped on UDP/53 probes.
+const dnsQueryName = "liveness.seedscan.example"
 
 // Status classifies the outcome of probing one target.
 type Status uint8
@@ -81,7 +103,8 @@ type Result struct {
 // Active reports whether the result is a hit.
 func (r Result) Active() bool { return r.Status == StatusActive }
 
-// Stats aggregates counters over a scanner's lifetime.
+// Stats is a point-in-time snapshot of a scanner's counters, merged
+// across the per-worker shards by Scanner.Stats.
 type Stats struct {
 	PacketsSent   atomic.Int64
 	PacketsRecv   atomic.Int64
@@ -90,6 +113,21 @@ type Stats struct {
 	Unreachables  atomic.Int64
 	Blocked       atomic.Int64
 	InvalidCookie atomic.Int64
+}
+
+// statShard is one worker's slice of the scanner counters. Each shard is
+// padded out to its own cache lines so eight workers incrementing seven
+// counters stop bouncing the same lines between cores; Scanner.Stats sums
+// the shards on read.
+type statShard struct {
+	packetsSent   atomic.Int64
+	packetsRecv   atomic.Int64
+	hits          atomic.Int64
+	rsts          atomic.Int64
+	unreachables  atomic.Int64
+	blocked       atomic.Int64
+	invalidCookie atomic.Int64
+	_             [72]byte // pad the 56 counter bytes to two cache lines
 }
 
 // protoCounters are the telemetry handles resolved once per protocol so
@@ -102,10 +140,14 @@ type protoCounters struct {
 
 // Scanner probes targets over a Link. Safe for concurrent Scan calls.
 type Scanner struct {
-	link  Link
-	set   settings
-	stats Stats
-	rl    *RateLimiter
+	link Link
+	set  settings
+	rl   *RateLimiter
+
+	shards   []statShard // len is a power of two
+	shardSeq atomic.Int64
+
+	dnsName []byte // pre-encoded wire form of dnsQueryName
 
 	// Telemetry handles (nil-safe when no registry is wired).
 	pc         [proto.Count]protoCounters
@@ -121,7 +163,17 @@ func New(link Link, opts ...Option) *Scanner {
 	for _, o := range opts {
 		o(&set)
 	}
-	s := &Scanner{link: link, set: set, rl: NewRateLimiter(set.ratePPS)}
+	name, err := probe.EncodeName(dnsQueryName)
+	if err != nil {
+		panic("scanner: impossible DNS name encode failure: " + err.Error())
+	}
+	s := &Scanner{
+		link:    link,
+		set:     set,
+		rl:      NewRateLimiter(set.ratePPS),
+		shards:  make([]statShard, nextPow2(set.workers)),
+		dnsName: name,
+	}
 	if reg := set.tele; reg != nil {
 		for _, p := range proto.All {
 			s.pc[p] = protoCounters{
@@ -137,14 +189,47 @@ func New(link Link, opts ...Option) *Scanner {
 	return s
 }
 
-// Stats exposes the scanner's counters.
-func (s *Scanner) Stats() *Stats { return &s.stats }
+// nextPow2 rounds n up to a power of two (minimum 1), so shard selection
+// is a mask instead of a modulo.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Stats returns a merged snapshot of the scanner's counters. The snapshot
+// is consistent per counter (each is summed atomically across shards) but
+// not across counters while scans are in flight.
+func (s *Scanner) Stats() *Stats {
+	var sent, recv, hits, rsts, unreach, blocked, badCookie int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sent += sh.packetsSent.Load()
+		recv += sh.packetsRecv.Load()
+		hits += sh.hits.Load()
+		rsts += sh.rsts.Load()
+		unreach += sh.unreachables.Load()
+		blocked += sh.blocked.Load()
+		badCookie += sh.invalidCookie.Load()
+	}
+	out := &Stats{}
+	out.PacketsSent.Store(sent)
+	out.PacketsRecv.Store(recv)
+	out.Hits.Store(hits)
+	out.RSTs.Store(rsts)
+	out.Unreachables.Store(unreach)
+	out.Blocked.Store(blocked)
+	out.InvalidCookie.Store(badCookie)
+	return out
+}
 
 // Telemetry returns the wired metrics registry (nil when none).
 func (s *Scanner) Telemetry() *telemetry.Registry { return s.set.tele }
 
-// VirtualElapsed reports how long the scan would have taken at the
-// configured packet rate.
+// VirtualElapsed reports how long all packets sent so far would have taken
+// at the configured packet rate.
 func (s *Scanner) VirtualElapsed() float64 { return s.rl.VirtualElapsed() }
 
 // cookie derives the per-target validation cookie.
@@ -159,18 +244,47 @@ func (s *Scanner) Scan(targets []ipaddr.Addr, p proto.Protocol) []Result {
 	return res
 }
 
+// workerState is the per-worker scratch a scan goroutine owns for its
+// lifetime: a counter shard and reusable probe/dispatch buffers, so the
+// steady-state hot path performs no allocation and no cross-worker writes
+// outside its shard.
+type workerState struct {
+	shard   *statShard
+	arena   []byte // packet build area, reused per attempt
+	ends    []int  // arena end offset of each pending packet
+	pkts    [][]byte
+	pending []pendingProbe
+}
+
+// pendingProbe tracks one not-yet-answered target within a chunk.
+type pendingProbe struct {
+	idx    int // index into the chunk
+	cookie uint64
+}
+
+// newWorkerState hands a worker its shard round-robin, so concurrent
+// scans spread across the shard pool.
+func (s *Scanner) newWorkerState() *workerState {
+	id := int(s.shardSeq.Add(1) - 1)
+	return &workerState{shard: &s.shards[id&(len(s.shards)-1)]}
+}
+
 // ScanContext probes every target on p and returns one Result per unique
 // target. Targets are deduplicated, shuffled (unless WithoutShuffle),
 // blocklist-filtered, and probed with retries. The caller's slice is never
 // mutated; dedup and shuffle operate on a private copy.
 //
-// Cancelling ctx stops the scan between targets: already-probed results
-// are returned (in scan order) together with ctx.Err().
+// Workers claim contiguous chunks of the target list; when the link
+// implements BatchLink a whole chunk is probed per exchange. Results are
+// identical either way — per-target classification depends only on the
+// target, its cookie, and the link's replies.
+//
+// Cancelling ctx stops the scan between chunks: already-probed results
+// are returned (a prefix of the scan order) together with ctx.Err().
 func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]Result, error) {
-	// Copy before mutating: callers routinely pass shared seed/candidate
-	// lists, and dedup+shuffle must not silently reorder them between
-	// runs.
-	targets = ipaddr.Dedup(append([]ipaddr.Addr(nil), targets...))
+	// Dedup always returns a fresh slice, so the shuffle below never
+	// reorders the caller's (routinely shared) seed/candidate list.
+	targets = ipaddr.Dedup(targets)
 	if s.set.shuffle {
 		rng := rand.New(rand.NewSource(int64(mix64(s.set.secret, uint64(p), uint64(len(targets))))))
 		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
@@ -178,25 +292,40 @@ func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p prot
 
 	reg := s.set.tele
 	wall := reg.StartTimer("scanner.scan.wall_seconds")
-	virtualStart := s.rl.VirtualElapsed()
 
 	results := make([]Result, len(targets))
-	var next atomic.Int64
+	// next is the chunk claim cursor; sent counts only this scan's packets
+	// so virtual-time attribution stays correct under concurrent scans.
+	var next, sent atomic.Int64
 	var wg sync.WaitGroup
 	workers := s.set.workers
 	if workers > len(targets) {
 		workers = len(targets)
 	}
+	bl, _ := s.link.(BatchLink)
+	chunk := s.set.chunk
+	if bl == nil {
+		chunk = 1
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			st := s.newWorkerState()
 			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= len(targets) {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= len(targets) {
 					return
 				}
-				results[i] = s.probeOne(targets[i], p)
+				end := start + chunk
+				if end > len(targets) {
+					end = len(targets)
+				}
+				if chunk > 1 {
+					s.probeChunk(bl, st, targets[start:end], p, results[start:end], &sent)
+				} else {
+					results[start] = s.probeOne(st, targets[start], p, &sent)
+				}
 			}
 		}()
 	}
@@ -204,12 +333,15 @@ func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p prot
 
 	if reg != nil {
 		wall.Stop()
-		reg.ObserveDuration("scanner.scan.virtual_seconds", s.rl.VirtualElapsed()-virtualStart)
+		// This scan's own packets × gap: a VirtualElapsed delta would
+		// absorb packets of scans running concurrently on this scanner.
+		reg.ObserveDuration("scanner.scan.virtual_seconds", float64(sent.Load())*s.rl.Gap())
 		reg.Gauge("scanner.ratelimit.virtual_elapsed_seconds").Set(s.rl.VirtualElapsed())
 	}
 	if err := ctx.Err(); err != nil {
-		// Workers claim indices in order, and every claimed index below
-		// len(targets) was fully probed before the worker exited.
+		// Workers claim chunks in order and fully probe every claimed
+		// index below len(targets) before exiting, so the claimed prefix
+		// is exactly the probed prefix.
 		probed := int(next.Load())
 		if probed > len(targets) {
 			probed = len(targets)
@@ -231,12 +363,12 @@ func (s *Scanner) ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.A
 }
 
 // probeOne sends up to 1+retries probes to one target and classifies the
-// outcome.
-func (s *Scanner) probeOne(dst ipaddr.Addr, p proto.Protocol) Result {
+// outcome — the unbatched path for links without ExchangeBatch.
+func (s *Scanner) probeOne(w *workerState, dst ipaddr.Addr, p proto.Protocol, sent *atomic.Int64) Result {
 	res := Result{Addr: dst, Proto: p}
 	if s.set.blocklist != nil && s.set.blocklist.Contains(dst) {
 		res.Status = StatusBlocked
-		s.stats.Blocked.Add(1)
+		w.shard.blocked.Add(1)
 		s.cBlocked.Inc()
 		return res
 	}
@@ -244,30 +376,23 @@ func (s *Scanner) probeOne(dst ipaddr.Addr, p proto.Protocol) Result {
 	for attempt := 0; attempt <= s.set.retries; attempt++ {
 		res.Attempts = attempt + 1
 		s.rl.Take()
-		pkt := s.buildProbe(dst, p, c, attempt)
-		s.stats.PacketsSent.Add(1)
+		w.arena = s.appendProbe(w.arena[:0], dst, p, c, attempt)
+		sent.Add(1)
+		w.shard.packetsSent.Add(1)
 		s.pc[p].sent.Inc()
 		if attempt > 0 {
 			s.pc[p].retries.Inc()
 		}
-		for _, raw := range s.link.Exchange(pkt) {
-			s.stats.PacketsRecv.Add(1)
+		for _, raw := range s.link.Exchange(w.arena) {
+			w.shard.packetsRecv.Add(1)
 			s.cRecv.Inc()
 			st, ok := s.classify(raw, dst, p, c, attempt)
 			if !ok {
-				s.stats.InvalidCookie.Add(1)
+				w.shard.invalidCookie.Add(1)
 				s.cCookieBad.Inc()
 				continue
 			}
-			switch st {
-			case StatusActive:
-				s.stats.Hits.Add(1)
-				s.pc[p].hits.Inc()
-			case StatusRST:
-				s.stats.RSTs.Add(1)
-			case StatusUnreachable:
-				s.stats.Unreachables.Add(1)
-			}
+			s.countStatus(w, p, st)
 			res.Status = st
 			return res
 		}
@@ -276,25 +401,107 @@ func (s *Scanner) probeOne(dst ipaddr.Addr, p proto.Protocol) Result {
 	return res
 }
 
-// buildProbe constructs the wire packet for one attempt. The attempt number
-// is folded into a varying field so losses genuinely re-roll.
-func (s *Scanner) buildProbe(dst ipaddr.Addr, p proto.Protocol, cookie uint64, attempt int) []byte {
+// probeChunk probes one claimed chunk of targets through the batched link:
+// one ExchangeBatch per attempt round, with targets leaving the pending
+// set as soon as a validated response arrives. Per-target semantics —
+// classification, attempt counting, counter increments — mirror probeOne
+// exactly.
+func (s *Scanner) probeChunk(bl BatchLink, w *workerState, targets []ipaddr.Addr, p proto.Protocol, results []Result, sent *atomic.Int64) {
+	w.pending = w.pending[:0]
+	for i, dst := range targets {
+		results[i] = Result{Addr: dst, Proto: p}
+		if s.set.blocklist != nil && s.set.blocklist.Contains(dst) {
+			results[i].Status = StatusBlocked
+			w.shard.blocked.Add(1)
+			s.cBlocked.Inc()
+			continue
+		}
+		w.pending = append(w.pending, pendingProbe{idx: i, cookie: s.cookie(dst, p)})
+	}
+	for attempt := 0; attempt <= s.set.retries && len(w.pending) > 0; attempt++ {
+		n := len(w.pending)
+		// Build every probe into the shared arena first (it may move while
+		// growing), then slice the packets out by their recorded ends.
+		w.arena = w.arena[:0]
+		w.ends = w.ends[:0]
+		for _, pd := range w.pending {
+			w.arena = s.appendProbe(w.arena, targets[pd.idx], p, pd.cookie, attempt)
+			w.ends = append(w.ends, len(w.arena))
+		}
+		w.pkts = w.pkts[:0]
+		prev := 0
+		for _, end := range w.ends {
+			w.pkts = append(w.pkts, w.arena[prev:end])
+			prev = end
+		}
+		s.rl.TakeN(n)
+		sent.Add(int64(n))
+		w.shard.packetsSent.Add(int64(n))
+		s.pc[p].sent.Add(int64(n))
+		if attempt > 0 {
+			s.pc[p].retries.Add(int64(n))
+		}
+		replies := bl.ExchangeBatch(w.pkts)
+
+		keep := w.pending[:0]
+		for j, pd := range w.pending {
+			res := &results[pd.idx]
+			res.Attempts = attempt + 1
+			answered := false
+			if j < len(replies) {
+				for _, raw := range replies[j] {
+					w.shard.packetsRecv.Add(1)
+					s.cRecv.Inc()
+					st, ok := s.classify(raw, res.Addr, p, pd.cookie, attempt)
+					if !ok {
+						w.shard.invalidCookie.Add(1)
+						s.cCookieBad.Inc()
+						continue
+					}
+					s.countStatus(w, p, st)
+					res.Status = st
+					answered = true
+					break
+				}
+			}
+			if !answered {
+				keep = append(keep, pd)
+			}
+		}
+		w.pending = keep
+	}
+	// Whatever is still pending stays StatusSilent with Attempts already
+	// set to the full retry count.
+}
+
+// countStatus bumps the counters for one validated response.
+func (s *Scanner) countStatus(w *workerState, p proto.Protocol, st Status) {
+	switch st {
+	case StatusActive:
+		w.shard.hits.Add(1)
+		s.pc[p].hits.Inc()
+	case StatusRST:
+		w.shard.rsts.Add(1)
+	case StatusUnreachable:
+		w.shard.unreachables.Add(1)
+	}
+}
+
+// appendProbe builds the wire packet for one attempt into buf. The attempt
+// number is folded into a varying field so losses genuinely re-roll.
+func (s *Scanner) appendProbe(buf []byte, dst ipaddr.Addr, p proto.Protocol, cookie uint64, attempt int) []byte {
 	switch p {
 	case proto.ICMP:
 		var payload [8]byte
 		putUint64(payload[:], cookie)
-		return probe.BuildEchoRequest(s.set.source, dst,
+		return probe.AppendEchoRequest(buf, s.set.source, dst,
 			uint16(cookie>>48), uint16(attempt), payload[:])
 	case proto.TCP80, proto.TCP443:
-		return probe.BuildTCPSyn(s.set.source, dst,
+		return probe.AppendTCPSyn(buf, s.set.source, dst,
 			srcPortFor(cookie), p.Port(), uint32(cookie)+uint32(attempt))
 	case proto.UDP53:
-		q, err := probe.BuildDNSQuery(s.set.source, dst,
-			srcPortFor(cookie), uint16(cookie)^uint16(attempt*7+1), "liveness.seedscan.example")
-		if err != nil {
-			panic("scanner: impossible DNS build failure: " + err.Error())
-		}
-		return q
+		return probe.AppendDNSQueryWire(buf, s.set.source, dst,
+			srcPortFor(cookie), uint16(cookie)^uint16(attempt*7+1), s.dnsName)
 	}
 	panic("scanner: unknown protocol")
 }
@@ -373,19 +580,9 @@ func srcPortFor(cookie uint64) uint16 {
 	return 0xc000 | uint16(cookie>>16)&0x3fff
 }
 
-func putUint64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (56 - 8*i))
-	}
-}
+func putUint64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
 
-func getUint64(b []byte) uint64 {
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v = v<<8 | uint64(b[i])
-	}
-	return v
-}
+func getUint64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
 
 // mix64 is the scanner's local copy of the split-mix fold (kept local so
 // the package has no dependency on the world's internals).

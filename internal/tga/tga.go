@@ -282,8 +282,18 @@ func sortedCopy(seeds []ipaddr.Addr) []ipaddr.Addr {
 	return out
 }
 
+// generateBatch is the request granularity Generate uses regardless of
+// remaining budget, mirroring RunContext's batching (see below).
+const generateBatch = 4096
+
 // Generate runs g without scanning and returns up to budget unique
 // candidates — useful for offline analysis and tests.
+//
+// Like RunContext, it always requests a full batch even when little
+// budget remains: tiny requests starve on seed-or-duplicate candidates
+// (a 1-seed leaf's first enumeration is the seed itself), which used to
+// make Generate falsely report exhaustion near the budget. Extras beyond
+// the budget are discarded.
 func Generate(g Generator, seeds []ipaddr.Addr, budget int) ([]ipaddr.Addr, error) {
 	if err := g.Init(sortedCopy(seeds)); err != nil {
 		return nil, err
@@ -291,12 +301,17 @@ func Generate(g Generator, seeds []ipaddr.Addr, budget int) ([]ipaddr.Addr, erro
 	out := ipaddr.NewSetCap(budget)
 	idle := 0
 	for out.Len() < budget {
-		batch := g.NextBatch(budget - out.Len())
+		batch := g.NextBatch(generateBatch)
 		if len(batch) == 0 {
 			break
 		}
 		before := out.Len()
-		out.AddAll(batch)
+		for _, a := range batch {
+			if out.Len() >= budget {
+				break
+			}
+			out.Add(a)
+		}
 		if out.Len() == before {
 			idle++
 			if idle > 64 {

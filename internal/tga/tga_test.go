@@ -250,3 +250,62 @@ func TestRunRejectsBadBudget(t *testing.T) {
 		t.Fatal("zero budget accepted")
 	}
 }
+
+// dupPrefixGen is a stateless generator that always returns the first n
+// candidates of a fixed enumeration whose head contains duplicates — the
+// shape that starves tiny NextBatch requests (a 1-seed leaf's first
+// enumeration is the seed itself).
+type dupPrefixGen struct{ seq []ipaddr.Addr }
+
+func (g *dupPrefixGen) Name() string                   { return "dupprefix" }
+func (g *dupPrefixGen) Online() bool                   { return false }
+func (g *dupPrefixGen) Init(seeds []ipaddr.Addr) error { return nil }
+func (g *dupPrefixGen) Feedback([]ProbeResult)         {}
+func (g *dupPrefixGen) NextBatch(n int) []ipaddr.Addr {
+	if n > len(g.seq) {
+		n = len(g.seq)
+	}
+	return g.seq[:n]
+}
+
+// TestGenerateFullBatchAvoidsStarvation is the regression test for
+// Generate's tiny-request starvation: requesting budget-out.Len() made the
+// final rounds ask for 1-2 candidates, which a duplicate-heavy generator
+// answers with already-seen addresses forever — Generate falsely reported
+// exhaustion one short of the budget. Like RunContext, it must request
+// full batches and discard extras.
+func TestGenerateFullBatchAvoidsStarvation(t *testing.T) {
+	// Enumeration head repeats the first address; 6 unique total.
+	seq := seedsFrom("::1", "::1", "::2", "::3", "::4", "::5", "::6")
+	got, err := Generate(&dupPrefixGen{seq: seq}, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("generated %d of budget 5 (starved on duplicate head)", len(got))
+	}
+	seen := make(map[ipaddr.Addr]bool)
+	for _, a := range got {
+		if seen[a] {
+			t.Fatalf("duplicate %v in output", a)
+		}
+		seen[a] = true
+	}
+}
+
+// TestGenerateStopsAtBudget pins the discard-extras side of the fix: a
+// full-batch request must not push the output past the budget.
+func TestGenerateStopsAtBudget(t *testing.T) {
+	var seq []ipaddr.Addr
+	base := ipaddr.MustParse("2001:db8::")
+	for i := 0; i < 500; i++ {
+		seq = append(seq, base.AddLo(uint64(i)))
+	}
+	got, err := Generate(&dupPrefixGen{seq: seq}, nil, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 123 {
+		t.Fatalf("generated %d, want exactly the 123 budget", len(got))
+	}
+}

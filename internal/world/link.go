@@ -13,3 +13,15 @@ func (w *World) Link() *WireLink { return &WireLink{w: w} }
 
 // Exchange sends one packet into the world and returns any replies.
 func (l *WireLink) Exchange(pkt []byte) [][]byte { return l.w.HandlePacket(pkt) }
+
+// ExchangeBatch implements the scanner's BatchLink: HandlePacket is a
+// stateless pure function of each packet, so answering a chunk in order is
+// exactly equivalent to one Exchange per packet — the batched scanner hot
+// path changes nothing about what the world observes or answers.
+func (l *WireLink) ExchangeBatch(pkts [][]byte) [][][]byte {
+	replies := make([][][]byte, len(pkts))
+	for i, pkt := range pkts {
+		replies[i] = l.w.HandlePacket(pkt)
+	}
+	return replies
+}
