@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scanner cover experiments clean
+.PHONY: all build vet test race bench bench-scanner bench-cluster cover experiments clean
 
 all: vet build test
 
@@ -27,6 +27,13 @@ bench:
 bench-scanner:
 	$(GO) test -run '^TestWriteScannerBenchBaseline$$' -count=1 -v \
 		-scanner-bench-out BENCH_scanner.json .
+
+# Regenerate the committed cluster scaling baseline: aggregate throughput
+# for 1→8 workers, each behind its own rate-capped link. Fails if 4
+# workers fall below 2x one worker's throughput.
+bench-cluster:
+	$(GO) test -run '^TestWriteClusterBenchBaseline$$' -count=1 -v \
+		-cluster-bench-out BENCH_cluster.json .
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -37,6 +37,7 @@ func main() {
 	protosFlag := flag.String("protos", "icmp", "protocols for the TGA sweeps (comma-separated, or 'all')")
 	trace := flag.String("trace", "", "write a JSONL telemetry event log to this file")
 	metrics := flag.Bool("metrics", false, "print final metric values on exit")
+	clusterWorkers := flag.Int("cluster-workers", 0, "fan scanning out across N in-process cluster workers (results unchanged)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -82,7 +83,7 @@ func main() {
 
 	env := experiment.NewEnv(experiment.EnvConfig{
 		WorldSeed: *seed, NumASes: *ases, CollectScale: *scale, Budget: *budget,
-		Telemetry: tr,
+		Telemetry: tr, ClusterWorkers: *clusterWorkers,
 	})
 	fmt.Printf("world: %d regions, %d ASes, %d ground-truth aliased prefixes (%d listed offline)\n",
 		len(env.World.Regions()), env.World.ASDB().Len(),

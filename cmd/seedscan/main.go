@@ -10,24 +10,34 @@
 //	run       run one TGA end-to-end (generate, scan, dealias, measure)
 //	scan      scan a dataset's addresses on one protocol
 //	dealias   split a dataset into clean and aliased addresses
+//	worker    serve shards to a cluster coordinator over TCP
+//
+// scan can also coordinate a sharded cluster scan: -cluster-workers N
+// fans out across N in-process workers, -cluster host:port,... drives
+// remote `seedscan worker` processes over the wire protocol. Either way
+// the merged output is byte-identical to the single-scanner scan.
 //
 // Every subcommand accepts -seed/-ases/-scale to shape the environment.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 
 	"seedscan/internal/alias"
+	"seedscan/internal/cluster"
 	"seedscan/internal/experiment"
 	"seedscan/internal/hitlist"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
 	"seedscan/internal/seeds"
 	"seedscan/internal/telemetry"
 	"seedscan/internal/tga/all"
@@ -57,6 +67,8 @@ func main() {
 		err = cmdHitlist(args)
 	case "resolve":
 		err = cmdResolve(args)
+	case "worker":
+		err = cmdWorker(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -81,6 +93,7 @@ commands:
   dealias   split a dataset into clean and aliased addresses
   hitlist   run the full hitlist-service pipeline and publish artifacts
   resolve   simulate a ZDNS AAAA-resolution campaign over synthetic domains
+  worker    serve shards to a cluster coordinator over TCP
 
 run 'seedscan <command> -h' for per-command flags`)
 }
@@ -285,6 +298,8 @@ func cmdScan(args []string) error {
 	seed, ases, scale := envFlags(fs)
 	src := fs.String("source", "IPv6 Hitlist", "seed source to scan")
 	protoName := fs.String("proto", "icmp", "protocol")
+	clusterAddrs := fs.String("cluster", "", "coordinate over remote workers at these comma-separated host:port addresses")
+	clusterN := fs.Int("cluster-workers", 0, "coordinate over this many in-process workers")
 	trace, metrics := teleFlags(fs)
 	fs.Parse(args)
 
@@ -305,9 +320,51 @@ func cmdScan(args []string) error {
 	defer stop()
 	env := buildEnvTele(*seed, *ases, *scale, 0, tr)
 	ds := env.Sources[s]
-	results, err := env.Scanner.ScanContext(ctx, ds.Slice(), p)
-	if err != nil {
-		return err
+	ccfg := cluster.Config{
+		Secret:    env.Cfg.ScanSecret,
+		Telemetry: tr.Registry(),
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	}
+
+	var results []scanner.Result
+	switch {
+	case *clusterAddrs != "":
+		var workers []cluster.Worker
+		for _, addr := range strings.Split(*clusterAddrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			rw, err := cluster.DialWorker(addr)
+			if err != nil {
+				return err
+			}
+			defer rw.Close()
+			workers = append(workers, rw)
+		}
+		if len(workers) == 0 {
+			return errors.New("scan: -cluster lists no worker addresses")
+		}
+		run, err := cluster.NewCoordinator(ccfg).Run(ctx, workers, ds.Slice(), p)
+		if err != nil {
+			return err
+		}
+		printClusterRun(run)
+		results = run.Results
+	case *clusterN > 0:
+		run, err := cluster.NewLocalPool(*clusterN, env.World.Link(), ccfg).Run(ctx, ds.Slice(), p)
+		if err != nil {
+			return err
+		}
+		printClusterRun(run)
+		results = run.Results
+	default:
+		results, err = env.Scanner.ScanContext(ctx, ds.Slice(), p)
+		if err != nil {
+			return err
+		}
 	}
 	counts := map[string]int{}
 	for _, r := range results {
@@ -320,6 +377,75 @@ func cmdScan(args []string) error {
 		}
 	}
 	return nil
+}
+
+// printClusterRun summarizes a coordinated scan: shard accounting first,
+// then the per-worker contributions in worker-ID order.
+func printClusterRun(run *cluster.RunResult) {
+	fmt.Printf("cluster: %d shards across %d workers (%d reassigned)\n",
+		run.Shards, len(run.Workers), run.Reassigned)
+	ids := make([]string, 0, len(run.Workers))
+	for id := range run.Workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r := run.Workers[id]
+		fmt.Printf("  %-20s %3d shards, %8d packets, %8.0f pps\n",
+			id, r.ShardsCompleted, r.PacketsSent, r.PPS())
+	}
+}
+
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	seed, ases, _ := envFlags(fs)
+	listen := fs.String("listen", "127.0.0.1:9653", "address to serve the cluster wire protocol on")
+	id := fs.String("id", "", "worker id announced to coordinators (default: the listen address)")
+	trace, metrics := teleFlags(fs)
+	fs.Parse(args)
+
+	tr, finish, err := newTracer(*trace, *metrics)
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	// The worker rebuilds the same deterministic world as the coordinator's
+	// environment; the job frame carries the secret/retries/rate needed for
+	// its shards to merge byte-identically.
+	w := world.New(world.Config{Seed: *seed, NumASes: *ases})
+	w.SetEpoch(world.ScanEpoch)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	if *id == "" {
+		*id = ln.Addr().String()
+	}
+	fmt.Printf("seedscan worker %q: serving on %s (world seed=%d, %d ASes)\n",
+		*id, ln.Addr(), *seed, *ases)
+
+	ctx, stop := signalContext()
+	defer stop()
+	err = cluster.Serve(ctx, ln, cluster.ServeConfig{
+		WorkerID: *id,
+		NewScanner: func(job cluster.Job) (*scanner.Scanner, error) {
+			return scanner.New(w.Link(),
+				scanner.WithSecret(job.Secret),
+				scanner.WithRetries(job.Retries),
+				scanner.WithRatePPS(job.RatePPS),
+				scanner.WithTelemetry(tr.Registry())), nil
+		},
+		Telemetry: tr.Registry(),
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
 }
 
 func cmdDealias(args []string) error {

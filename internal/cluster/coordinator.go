@@ -1,0 +1,463 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
+	"seedscan/internal/telemetry"
+)
+
+// Config parameterizes a Coordinator. Zero values get defaults from
+// fillDefaults; Secret/Retries/RatePPS must mirror the reference single
+// scanner for byte-identical results (the zero values mirror the
+// scanner's own defaults).
+type Config struct {
+	// Secret keys validation cookies and the canonical shuffle.
+	Secret uint64
+	// NoShuffle disables the canonical-order shuffle (tests).
+	NoShuffle bool
+	// Retries / RatePPS are shipped to workers in the Job so remote
+	// scanners replicate the coordinator's reference configuration
+	// (defaults 2 and 10000, the scanner's own defaults).
+	Retries int
+	RatePPS int
+	// ShardSize is the target count per shard (default 2048).
+	ShardSize int
+	// MaxInflight bounds how many shards may be leased at once — the
+	// backpressure knob. Default: one per worker.
+	MaxInflight int
+	// LeaseTimeout expires a lease whose worker has neither completed
+	// nor heartbeat within it (default 30s).
+	LeaseTimeout time.Duration
+	// MaxShardAttempts fails the run when one shard keeps dying
+	// (default 5 lease attempts).
+	MaxShardAttempts int
+	// WorkerFailureLimit retires a worker after this many consecutive
+	// failed or expired leases (default 3); a completed shard resets it.
+	WorkerFailureLimit int
+	// Telemetry receives the cluster.* metrics (nil: telemetry off).
+	Telemetry *telemetry.Registry
+	// Logf reports lease failures, expiries, and worker retirement —
+	// events the merged result hides when recovery succeeds (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults(workers int) {
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RatePPS == 0 {
+		c.RatePPS = 10000
+	}
+	if c.ShardSize == 0 {
+		c.ShardSize = 2048
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = workers
+	}
+	if c.LeaseTimeout == 0 {
+		c.LeaseTimeout = 30 * time.Second
+	}
+	if c.MaxShardAttempts == 0 {
+		c.MaxShardAttempts = 5
+	}
+	if c.WorkerFailureLimit == 0 {
+		c.WorkerFailureLimit = 3
+	}
+}
+
+// Coordinator shards scans across a worker pool. It is stateless between
+// Run calls; one Coordinator may serve many concurrent Runs.
+type Coordinator struct {
+	cfg Config
+}
+
+// NewCoordinator returns a coordinator with the given configuration.
+func NewCoordinator(cfg Config) *Coordinator { return &Coordinator{cfg: cfg} }
+
+// WorkerReport is one worker's contribution to a run.
+type WorkerReport struct {
+	ShardsCompleted int
+	PacketsSent     int64
+	WallSeconds     float64
+}
+
+// PPS is the worker's average probing rate over its completed shards.
+func (r WorkerReport) PPS() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(r.PacketsSent) / r.WallSeconds
+}
+
+// RunResult is a merged cluster scan: Results in the canonical order (and
+// with the exact contents) of the equivalent single-scanner run, Stats the
+// sum of every completed shard's contribution.
+type RunResult struct {
+	Results    []scanner.Result
+	Stats      *scanner.Stats
+	Shards     int
+	Reassigned int
+	Workers    map[string]WorkerReport
+}
+
+// lease is one shard assignment. beatNs is touched by the worker's
+// heartbeat callback and read by the coordinator's expiry sweep, hence the
+// channel-free clock through the runner goroutine.
+type lease struct {
+	shard  int
+	worker int
+	cancel context.CancelFunc
+	beat   chan struct{} // non-blocking heartbeat notifications
+}
+
+// doneEvent is a runner goroutine's terminal report.
+type doneEvent struct {
+	le  *lease
+	res *ShardResult
+	err error
+}
+
+// Run scans targets on p across workers and merges the shards. The merged
+// Results and Stats are byte-identical to one scanner (configured with the
+// coordinator's Secret/Retries/RatePPS over the same link) scanning
+// targets directly, provided every worker's scanner replicates that
+// reference configuration — LocalWorker pools built by NewLocalPool and
+// `seedscan worker` processes both do.
+func (c *Coordinator) Run(ctx context.Context, workers []Worker, targets []ipaddr.Addr, p proto.Protocol) (*RunResult, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers")
+	}
+	cfg := c.cfg
+	cfg.fillDefaults(len(workers))
+	reg := cfg.Telemetry
+
+	canonical := scanner.PlanOrder(cfg.Secret, !cfg.NoShuffle, targets, p)
+	shards := Partition(canonical, cfg.ShardSize)
+	job := Job{
+		Proto:          p,
+		Secret:         cfg.Secret,
+		Retries:        cfg.Retries,
+		RatePPS:        cfg.RatePPS,
+		HeartbeatEvery: cfg.LeaseTimeout / 4,
+	}
+
+	run := &runState{
+		cfg:     cfg,
+		workers: workers,
+		job:     job,
+		shards:  shards,
+		leases:  make(map[int]*lease),
+		results: make(map[int]*ShardResult, len(shards)),
+		busy:    make([]bool, len(workers)),
+		dead:    make([]bool, len(workers)),
+		fails:   make([]int, len(workers)),
+		// Buffered so a runner goroutine can always deliver its terminal
+		// event even after Run has returned (stale workers never block).
+		events:  make(chan doneEvent, len(workers)),
+		reports: make(map[string]*WorkerReport, len(workers)),
+		reg:     reg,
+	}
+	for i := len(shards) - 1; i >= 0; i-- {
+		run.pending = append(run.pending, i)
+	}
+	run.attempts = make([]int, len(shards))
+
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+
+	if err := run.loop(rctx); err != nil {
+		return nil, err
+	}
+	return run.merge(canonical)
+}
+
+// runState is the mutable state of one Run, owned by the event loop
+// goroutine; runner goroutines communicate only through events and the
+// per-lease heartbeat channel.
+type runState struct {
+	cfg     Config
+	workers []Worker
+	job     Job
+	shards  []Shard
+
+	pending  []int // shard ids awaiting a lease (LIFO)
+	attempts []int
+	leases   map[int]*lease
+	results  map[int]*ShardResult
+	busy     []bool // worker has a runner goroutine outstanding
+	dead     []bool
+	fails    []int
+
+	events     chan doneEvent
+	reassigned int
+	reports    map[string]*WorkerReport
+	reg        *telemetry.Registry
+}
+
+// loop drives leases until every shard has a result or the run fails.
+func (r *runState) loop(ctx context.Context) error {
+	// lastBeat lives here, keyed by lease, so the expiry sweep and the
+	// heartbeat drain both run on the loop goroutine — no locking.
+	lastBeat := make(map[*lease]time.Time)
+
+	sweep := r.cfg.LeaseTimeout / 4
+	if sweep < time.Millisecond {
+		sweep = time.Millisecond
+	}
+	ticker := time.NewTicker(sweep)
+	defer ticker.Stop()
+
+	for len(r.results) < len(r.shards) {
+		if err := r.assign(ctx, lastBeat); err != nil {
+			return err
+		}
+		if len(r.leases) == 0 && !r.anyBusy() {
+			// Nothing running, nothing assignable: every worker is retired
+			// while shards remain.
+			return fmt.Errorf("cluster: %d shards unfinished and no live workers remain",
+				len(r.shards)-len(r.results))
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case ev := <-r.events:
+			r.handleDone(ev, lastBeat)
+		case <-ticker.C:
+			r.expire(lastBeat)
+		}
+		r.drainBeats(lastBeat)
+	}
+	return nil
+}
+
+// assign leases pending shards to idle live workers, bounded by
+// MaxInflight.
+func (r *runState) assign(ctx context.Context, lastBeat map[*lease]time.Time) error {
+	for len(r.pending) > 0 && len(r.leases) < r.cfg.MaxInflight {
+		wi := r.idleWorker()
+		if wi < 0 {
+			return nil
+		}
+		sid := r.pending[len(r.pending)-1]
+		if r.attempts[sid] >= r.cfg.MaxShardAttempts {
+			return fmt.Errorf("cluster: shard %d failed %d lease attempts", sid, r.attempts[sid])
+		}
+		r.pending = r.pending[:len(r.pending)-1]
+		r.attempts[sid]++
+
+		lctx, cancel := context.WithCancel(ctx)
+		le := &lease{shard: sid, worker: wi, cancel: cancel, beat: make(chan struct{}, 1)}
+		r.leases[sid] = le
+		lastBeat[le] = time.Now()
+		r.busy[wi] = true
+		r.gaugeInflight()
+		r.reg.Counter("cluster.shards.leased").Inc()
+		r.reg.Counter("cluster.worker." + r.workers[wi].ID() + ".shards_leased").Inc()
+
+		go func(w Worker, le *lease, sh Shard, job Job) {
+			beat := func(int) {
+				select {
+				case le.beat <- struct{}{}:
+				default:
+				}
+			}
+			res, err := w.RunShard(lctx, job, sh, beat)
+			r.events <- doneEvent{le: le, res: res, err: err}
+		}(r.workers[wi], le, r.shards[sid], r.job)
+	}
+	return nil
+}
+
+// idleWorker returns a live worker without an outstanding runner, or -1.
+func (r *runState) idleWorker() int {
+	for i := range r.workers {
+		if !r.busy[i] && !r.dead[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *runState) anyBusy() bool {
+	for _, b := range r.busy {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// drainBeats moves queued heartbeats into lastBeat.
+func (r *runState) drainBeats(lastBeat map[*lease]time.Time) {
+	for _, le := range r.leases {
+		select {
+		case <-le.beat:
+			lastBeat[le] = time.Now()
+		default:
+		}
+	}
+}
+
+// expire revokes leases whose workers have gone quiet past the timeout and
+// requeues their shards.
+func (r *runState) expire(lastBeat map[*lease]time.Time) {
+	now := time.Now()
+	for sid, le := range r.leases {
+		// A queued-but-undrained beat counts: drain first.
+		select {
+		case <-le.beat:
+			lastBeat[le] = now
+		default:
+		}
+		if now.Sub(lastBeat[le]) <= r.cfg.LeaseTimeout {
+			continue
+		}
+		le.cancel()
+		delete(r.leases, sid)
+		delete(lastBeat, le)
+		r.pending = append(r.pending, sid)
+		r.reassigned++
+		r.gaugeInflight()
+		r.reg.Counter("cluster.shards.reassigned").Inc()
+		r.logf("cluster: lease on shard %d expired after %v of silence from worker %s",
+			sid, r.cfg.LeaseTimeout, r.workers[le.worker].ID())
+		r.workerFailed(le.worker)
+		// busy[worker] stays set until its runner goroutine reports: a hung
+		// worker must not be leased another shard.
+	}
+}
+
+// handleDone processes one runner goroutine's terminal report.
+func (r *runState) handleDone(ev doneEvent, lastBeat map[*lease]time.Time) {
+	wi := ev.le.worker
+	r.busy[wi] = false
+	current := r.leases[ev.le.shard] == ev.le
+	if current {
+		delete(r.leases, ev.le.shard)
+		delete(lastBeat, ev.le)
+		ev.le.cancel()
+		r.gaugeInflight()
+	}
+
+	switch {
+	case ev.err == nil && r.results[ev.le.shard] == nil:
+		// First completion wins — whether the lease is still current or
+		// was expired and the straggler finished late, the bytes are the
+		// same, so accept it and drop any competing reassigned lease. The
+		// dropped runner reports back through handleDone as a stale event
+		// and is not charged a failure.
+		if other, ok := r.leases[ev.le.shard]; ok && !current {
+			other.cancel()
+			delete(r.leases, ev.le.shard)
+			delete(lastBeat, other)
+			r.gaugeInflight()
+		}
+		r.removePending(ev.le.shard)
+		r.record(wi, ev.res)
+	case ev.err == nil:
+		// Duplicate completion of an already-recorded shard: discard.
+	case current && r.results[ev.le.shard] == nil:
+		// Failure while holding the lease: requeue and charge the worker.
+		r.pending = append(r.pending, ev.le.shard)
+		r.reassigned++
+		r.reg.Counter("cluster.shards.reassigned").Inc()
+		r.logf("cluster: shard %d failed on worker %s: %v",
+			ev.le.shard, r.workers[wi].ID(), ev.err)
+		r.workerFailed(wi)
+	default:
+		// Failure on an expired or superseded lease — the shard has
+		// already been requeued (or completed elsewhere); nothing to do.
+	}
+}
+
+// workerFailed charges one failure and retires the worker at the limit.
+func (r *runState) workerFailed(wi int) {
+	r.fails[wi]++
+	r.reg.Counter("cluster.worker." + r.workers[wi].ID() + ".failures").Inc()
+	if r.fails[wi] >= r.cfg.WorkerFailureLimit && !r.dead[wi] {
+		r.dead[wi] = true
+		r.logf("cluster: retiring worker %s after %d consecutive failures",
+			r.workers[wi].ID(), r.fails[wi])
+	}
+}
+
+// logf reports through the configured sink, if any.
+func (r *runState) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// record stores a completed shard and updates per-worker accounting.
+func (r *runState) record(wi int, res *ShardResult) {
+	r.results[res.Shard] = res
+	r.fails[wi] = 0
+	id := r.workers[wi].ID()
+	rep := r.reports[id]
+	if rep == nil {
+		rep = &WorkerReport{}
+		r.reports[id] = rep
+	}
+	rep.ShardsCompleted++
+	rep.WallSeconds += res.WallSeconds
+	sent := int64(0)
+	if res.Stats != nil {
+		sent = res.Stats.PacketsSent.Load()
+	}
+	rep.PacketsSent += sent
+	r.reg.Counter("cluster.shards.completed").Inc()
+	r.reg.Counter("cluster.worker." + id + ".shards_completed").Inc()
+	r.reg.Counter("cluster.worker." + id + ".packets_sent").Add(sent)
+	r.reg.Gauge("cluster.worker." + id + ".pps").Set(rep.PPS())
+}
+
+// removePending deletes sid from the pending queue if present.
+func (r *runState) removePending(sid int) {
+	for i, s := range r.pending {
+		if s == sid {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *runState) gaugeInflight() {
+	r.reg.Gauge("cluster.shards.inflight").Set(float64(len(r.leases)))
+}
+
+// merge re-keys every shard result by address and emits the canonical
+// order, summing shard stats into one snapshot.
+func (r *runState) merge(canonical []ipaddr.Addr) (*RunResult, error) {
+	merged := &scanner.Stats{}
+	byAddr := make(map[ipaddr.Addr]scanner.Result, len(canonical))
+	for _, sr := range r.results {
+		merged.Add(sr.Stats)
+		for _, res := range sr.Results {
+			byAddr[res.Addr] = res
+		}
+	}
+	out := make([]scanner.Result, len(canonical))
+	for i, a := range canonical {
+		res, ok := byAddr[a]
+		if !ok {
+			return nil, fmt.Errorf("cluster: merged shards missing result for %v", a)
+		}
+		out[i] = res
+	}
+	reports := make(map[string]WorkerReport, len(r.reports))
+	for id, rep := range r.reports {
+		reports[id] = *rep
+	}
+	return &RunResult{
+		Results:    out,
+		Stats:      merged,
+		Shards:     len(r.shards),
+		Reassigned: r.reassigned,
+		Workers:    reports,
+	}, nil
+}

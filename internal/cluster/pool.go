@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"context"
+	"strconv"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
+	"seedscan/internal/telemetry"
+)
+
+// Pool binds a Coordinator to a fixed worker set and exposes the
+// scanner-shaped prober surface (Scan / ScanContext / ScanActive), so
+// anything that probes through a *scanner.Scanner — the TGA driver, the
+// dealiasers, experiment.Env — can fan out across a cluster unchanged.
+type Pool struct {
+	coord   *Coordinator
+	workers []Worker
+	stats   *scanner.Stats
+}
+
+// NewPool binds cfg's coordinator to workers.
+func NewPool(cfg Config, workers ...Worker) *Pool {
+	return &Pool{coord: NewCoordinator(cfg), workers: workers, stats: &scanner.Stats{}}
+}
+
+// NewLocalPool builds an n-worker in-process pool whose worker scanners
+// all replicate the coordinator's reference configuration over link:
+// merged cluster scans are byte-identical to one such scanner scanning
+// alone. Extra scanner options (telemetry, rate, retries...) apply to
+// every worker; options that diverge from cfg's Secret/Retries/RatePPS
+// break the identity, so cfg is applied after opts.
+func NewLocalPool(n int, link scanner.Link, cfg Config, opts ...scanner.Option) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	cfg.fillDefaults(n)
+	workers := make([]Worker, n)
+	for i := range workers {
+		s := scanner.New(link, append(append([]scanner.Option(nil), opts...),
+			scanner.WithSecret(cfg.Secret),
+			scanner.WithRetries(cfg.Retries),
+			scanner.WithRatePPS(cfg.RatePPS))...)
+		workers[i] = NewLocalWorker(workerName(i), s)
+	}
+	return NewPool(cfg, workers...)
+}
+
+// workerName labels in-process workers w0, w1, ...
+func workerName(i int) string { return "w" + strconv.Itoa(i) }
+
+// Workers returns the pool's worker set (for direct Coordinator runs).
+func (p *Pool) Workers() []Worker { return p.workers }
+
+// Run executes one coordinated scan and returns the full merged result.
+func (p *Pool) Run(ctx context.Context, targets []ipaddr.Addr, pr proto.Protocol) (*RunResult, error) {
+	res, err := p.coord.Run(ctx, p.workers, targets, pr)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Add(res.Stats)
+	return res, nil
+}
+
+// ScanContext implements the cancellable prober surface.
+func (p *Pool) ScanContext(ctx context.Context, targets []ipaddr.Addr, pr proto.Protocol) ([]scanner.Result, error) {
+	res, err := p.Run(ctx, targets, pr)
+	if err != nil {
+		return nil, err
+	}
+	return res.Results, nil
+}
+
+// Scan implements the tga.Prober surface.
+func (p *Pool) Scan(targets []ipaddr.Addr, pr proto.Protocol) []scanner.Result {
+	res, _ := p.ScanContext(context.Background(), targets, pr)
+	return res
+}
+
+// ScanActive implements the alias.Prober surface.
+func (p *Pool) ScanActive(targets []ipaddr.Addr, pr proto.Protocol) []ipaddr.Addr {
+	var out []ipaddr.Addr
+	for _, r := range p.Scan(targets, pr) {
+		if r.Active() {
+			out = append(out, r.Addr)
+		}
+	}
+	return out
+}
+
+// Stats returns the pool's cumulative merged counters across every run —
+// the cluster analogue of Scanner.Stats.
+func (p *Pool) Stats() *scanner.Stats {
+	snap := &scanner.Stats{}
+	snap.Add(p.stats)
+	return snap
+}
+
+// Telemetry returns the coordinator's registry (nil when none).
+func (p *Pool) Telemetry() *telemetry.Registry { return p.coord.cfg.Telemetry }

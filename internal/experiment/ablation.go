@@ -58,7 +58,7 @@ func (e *Env) ScanAgreement(targets []ipaddr.Addr, p proto.Protocol) float64 {
 	}
 	oracle := &OracleProber{World: e.World}
 	oracleActive := ipaddr.NewSet(oracle.ScanActive(targets, p)...)
-	scanActive := ipaddr.NewSet(e.Scanner.ScanActive(append([]ipaddr.Addr(nil), targets...), p)...)
+	scanActive := ipaddr.NewSet(e.Prober.ScanActive(append([]ipaddr.Addr(nil), targets...), p)...)
 	agree := 0
 	for _, a := range targets {
 		if oracleActive.Contains(a) == scanActive.Contains(a) {
@@ -83,7 +83,7 @@ func (e *Env) BatchSizeAblation(gen string, p proto.Protocol, budget int, sizes 
 			Budget:       budget,
 			BatchSize:    bs,
 			Proto:        p,
-			Prober:       e.Scanner,
+			Prober:       e.Prober,
 			Dealiaser:    e.OutputDealiaser(p),
 			ExcludeSeeds: true,
 		})

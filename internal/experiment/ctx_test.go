@@ -37,7 +37,7 @@ func TestGridCancellationMidRun(t *testing.T) {
 	// them all.
 	started := 0
 	var mu sync.Mutex
-	err := runParallel(ctx, 1, len(gens), func(i int) error {
+	err := runParallel(ctx, 1, len(gens), func(ctx context.Context, i int) error {
 		mu.Lock()
 		started++
 		mu.Unlock()

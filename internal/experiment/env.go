@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"seedscan/internal/alias"
+	"seedscan/internal/cluster"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/metrics"
 	"seedscan/internal/proto"
@@ -40,6 +41,11 @@ type EnvConfig struct {
 	OfflineCoverage float64
 	// ScanSecret keys probe cookies.
 	ScanSecret uint64
+	// ClusterWorkers > 1 fans all scanning out across that many in-process
+	// cluster workers; the merged results are byte-identical to the single
+	// scanner's, so experiment outcomes do not change — only the scanning
+	// topology does. 0 or 1 keeps the plain single scanner.
+	ClusterWorkers int
 	// Telemetry receives the environment's spans, progress events, and
 	// metrics. Nil gets a silent tracer, so instrumentation is always
 	// wired and always cheap.
@@ -73,11 +79,24 @@ func (c *EnvConfig) fillDefaults() {
 	}
 }
 
+// ScanProber is the scanning surface experiments probe through — either
+// the Env's reference scanner or an in-process cluster pool whose merged
+// output is byte-identical to it. *scanner.Scanner and *cluster.Pool both
+// implement it.
+type ScanProber interface {
+	Scan(targets []ipaddr.Addr, p proto.Protocol) []scanner.Result
+	ScanContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]scanner.Result, error)
+	ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr
+}
+
 // Env is a fully assembled experimental setup.
 type Env struct {
 	Cfg     EnvConfig
 	World   *world.World
 	Scanner *scanner.Scanner
+	// Prober is what every experiment scans through: Scanner itself, or a
+	// cluster pool over the same link when Cfg.ClusterWorkers > 1.
+	Prober  ScanProber
 	Sources map[seeds.Source]*seeds.Dataset
 	Full    *seeds.Dataset
 	Offline *alias.OfflineList
@@ -116,7 +135,7 @@ func NewEnv(cfg EnvConfig) *Env {
 	listed := append([]ipaddr.Prefix(nil), truth[:keep]...)
 
 	w.SetEpoch(world.ScanEpoch)
-	return &Env{
+	e := &Env{
 		Cfg:   cfg,
 		World: w,
 		Scanner: scanner.New(w.Link(),
@@ -130,6 +149,17 @@ func NewEnv(cfg EnvConfig) *Env {
 		activeByP:   make(map[proto.Protocol]*ipaddr.Set),
 		outDealiase: make(map[proto.Protocol]*alias.Dealiaser),
 	}
+	e.Prober = e.Scanner
+	if cfg.ClusterWorkers > 1 {
+		// The pool's worker scanners replicate the reference scanner's
+		// secret over the same link, so everything scanned through Prober
+		// merges byte-identically to a Scanner-only environment.
+		e.Prober = cluster.NewLocalPool(cfg.ClusterWorkers, w.Link(), cluster.Config{
+			Secret:    cfg.ScanSecret,
+			Telemetry: tr.Registry(),
+		}, scanner.WithTelemetry(tr.Registry()))
+	}
+	return e
 }
 
 // OutputDealiaser returns the shared joint (offline+online) dealiaser used
@@ -137,7 +167,7 @@ func NewEnv(cfg EnvConfig) *Env {
 func (e *Env) OutputDealiaser(p proto.Protocol) *alias.Dealiaser {
 	d, ok := e.outDealiase[p]
 	if !ok {
-		d = alias.New(alias.ModeJoint, e.Offline, e.Scanner, p, e.Cfg.ScanSecret^uint64(p))
+		d = alias.New(alias.ModeJoint, e.Offline, e.Prober, p, e.Cfg.ScanSecret^uint64(p))
 		d.SetTelemetry(e.Tele.Registry())
 		e.outDealiase[p] = d
 	}
@@ -150,7 +180,7 @@ func (e *Env) DealiasedSeeds(mode alias.Mode) *seeds.Dataset {
 	if ds, ok := e.dealiased[mode]; ok {
 		return ds
 	}
-	d := alias.New(mode, e.Offline, e.Scanner, proto.ICMP, e.Cfg.ScanSecret^0xa11a5)
+	d := alias.New(mode, e.Offline, e.Prober, proto.ICMP, e.Cfg.ScanSecret^0xa11a5)
 	d.SetTelemetry(e.Tele.Registry())
 	clean, _ := d.Split(e.Full.Slice())
 	ds := seeds.FromAddrs("Full/"+mode.String(), clean)
@@ -165,7 +195,7 @@ func (e *Env) seedActive(p proto.Protocol) *ipaddr.Set {
 		return s
 	}
 	base := e.DealiasedSeeds(alias.ModeJoint)
-	active := ipaddr.NewSet(e.Scanner.ScanActive(base.Slice(), p)...)
+	active := ipaddr.NewSet(e.Prober.ScanActive(base.Slice(), p)...)
 	e.activeByP[p] = active
 	return active
 }
@@ -231,7 +261,7 @@ func (e *Env) RunTGACtx(ctx context.Context, name string, seedSet []ipaddr.Addr,
 		// thousands of rounds).
 		BatchSize:    1024,
 		Proto:        p,
-		Prober:       e.Scanner,
+		Prober:       e.Prober,
 		Dealiaser:    e.OutputDealiaser(p),
 		ExcludeSeeds: true,
 	})

@@ -29,19 +29,23 @@ func (e *Env) Workers() int {
 }
 
 // runParallel executes fn(0..n-1) on up to `workers` goroutines and
-// returns the first error. Once ctx is cancelled no further indices are
-// dispatched; already-running calls finish (each fn observes ctx itself),
-// and ctx.Err() is returned if it cut the grid short.
-func runParallel(ctx context.Context, workers, n int, fn func(i int) error) error {
+// returns the first error. Every fn receives a grid context derived from
+// ctx that is cancelled as soon as any sibling fails, so long-running
+// siblings stop promptly instead of finishing doomed work; no further
+// indices are dispatched after cancellation either. The parent's
+// ctx.Err() is returned if it cut the grid short.
+func runParallel(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
+			if err := gctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(gctx, i); err != nil {
 				return err
 			}
 		}
@@ -58,7 +62,7 @@ func runParallel(ctx context.Context, workers, n int, fn func(i int) error) erro
 		go func() {
 			defer wg.Done()
 			for {
-				if ctx.Err() != nil {
+				if gctx.Err() != nil {
 					return
 				}
 				mu.Lock()
@@ -69,12 +73,13 @@ func runParallel(ctx context.Context, workers, n int, fn func(i int) error) erro
 				i := next
 				next++
 				mu.Unlock()
-				if e := fn(i); e != nil {
+				if e := fn(gctx, i); e != nil {
 					mu.Lock()
 					if err == nil {
 						err = e
 					}
 					mu.Unlock()
+					cancel()
 					return
 				}
 			}

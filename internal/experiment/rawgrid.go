@@ -99,7 +99,7 @@ func (e *Env) RunRawGridCtx(ctx context.Context, protos []proto.Protocol, gens, 
 	}
 	outs := make([]metrics.Outcome, len(jobs))
 	var done atomic.Int64
-	err := runParallel(ctx, e.Workers(), len(jobs), func(i int) error {
+	err := runParallel(ctx, e.Workers(), len(jobs), func(ctx context.Context, i int) error {
 		r, err := e.RunTGACtx(ctx, jobs[i].gen, jobs[i].set, jobs[i].p, budget)
 		if err != nil {
 			return err

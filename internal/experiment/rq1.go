@@ -47,7 +47,7 @@ func (e *Env) compare(ctx context.Context, name, origName, chgName string,
 		chg := changed(p)
 		e.OutputDealiaser(p) // materialize the shared dealiaser before fan-out
 		outcomes := make([][2]metrics.Outcome, len(gens))
-		err := runParallel(ctx, e.Workers(), len(gens), func(i int) error {
+		err := runParallel(ctx, e.Workers(), len(gens), func(ctx context.Context, i int) error {
 			ro, err := e.RunTGACtx(ctx, gens[i], orig, p, budget)
 			if err != nil {
 				return err
@@ -121,7 +121,7 @@ func (e *Env) RunTable4Ctx(ctx context.Context, gens []string, budget int) (*Tab
 	e.OutputDealiaser(proto.ICMP)
 	rows := make([][4]int, len(gens))
 	var done atomic.Int64
-	err := runParallel(ctx, e.Workers(), len(gens), func(gi int) error {
+	err := runParallel(ctx, e.Workers(), len(gens), func(ctx context.Context, gi int) error {
 		for i := range alias.Modes {
 			r, err := e.RunTGACtx(ctx, gens[gi], seedSets[i], proto.ICMP, budget)
 			if err != nil {

@@ -71,7 +71,7 @@ func (e *Env) RunRQ3Ctx(ctx context.Context, protos []proto.Protocol, gens []str
 	}
 	runs := make([]TGAResult, len(jobs))
 	var done atomic.Int64
-	err := runParallel(ctx, e.Workers(), len(jobs), func(i int) error {
+	err := runParallel(ctx, e.Workers(), len(jobs), func(ctx context.Context, i int) error {
 		r, err := e.RunTGACtx(ctx, jobs[i].gen, jobs[i].set, jobs[i].p, budget)
 		if err != nil {
 			return err

@@ -49,7 +49,7 @@ func (e *Env) RunRQ4Ctx(ctx context.Context, protos []proto.Protocol, gens []str
 		asSets := make(map[string]map[int]struct{}, len(gens))
 		e.OutputDealiaser(p)
 		runs := make([]TGAResult, len(gens))
-		err := runParallel(ctx, e.Workers(), len(gens), func(i int) error {
+		err := runParallel(ctx, e.Workers(), len(gens), func(ctx context.Context, i int) error {
 			r, err := e.RunTGACtx(ctx, gens[i], seedSet, p, budget)
 			if err != nil {
 				return err

@@ -115,6 +115,65 @@ type Stats struct {
 	InvalidCookie atomic.Int64
 }
 
+// Add accumulates o's counters into s. It is the merge step for sharded
+// scanning: a cluster coordinator sums per-shard snapshots into one
+// whole-run snapshot instead of reaching into individual fields.
+func (s *Stats) Add(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.PacketsSent.Add(o.PacketsSent.Load())
+	s.PacketsRecv.Add(o.PacketsRecv.Load())
+	s.Hits.Add(o.Hits.Load())
+	s.RSTs.Add(o.RSTs.Load())
+	s.Unreachables.Add(o.Unreachables.Load())
+	s.Blocked.Add(o.Blocked.Load())
+	s.InvalidCookie.Add(o.InvalidCookie.Load())
+}
+
+// Sub subtracts o's counters from s — the delta between two snapshots of
+// the same scanner, i.e. what one shard contributed.
+func (s *Stats) Sub(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.PacketsSent.Add(-o.PacketsSent.Load())
+	s.PacketsRecv.Add(-o.PacketsRecv.Load())
+	s.Hits.Add(-o.Hits.Load())
+	s.RSTs.Add(-o.RSTs.Load())
+	s.Unreachables.Add(-o.Unreachables.Load())
+	s.Blocked.Add(-o.Blocked.Load())
+	s.InvalidCookie.Add(-o.InvalidCookie.Load())
+}
+
+// Values returns the counters as a fixed array in declaration order —
+// the wire encoding the cluster protocol ships between worker and
+// coordinator.
+func (s *Stats) Values() [7]int64 {
+	return [7]int64{
+		s.PacketsSent.Load(),
+		s.PacketsRecv.Load(),
+		s.Hits.Load(),
+		s.RSTs.Load(),
+		s.Unreachables.Load(),
+		s.Blocked.Load(),
+		s.InvalidCookie.Load(),
+	}
+}
+
+// StatsFromValues rebuilds a snapshot from Values order.
+func StatsFromValues(v [7]int64) *Stats {
+	s := &Stats{}
+	s.PacketsSent.Store(v[0])
+	s.PacketsRecv.Store(v[1])
+	s.Hits.Store(v[2])
+	s.RSTs.Store(v[3])
+	s.Unreachables.Store(v[4])
+	s.Blocked.Store(v[5])
+	s.InvalidCookie.Store(v[6])
+	return s
+}
+
 // statShard is one worker's slice of the scanner counters. Each shard is
 // padded out to its own cache lines so eight workers incrementing seven
 // counters stop bouncing the same lines between cores; Scanner.Stats sums
@@ -282,13 +341,7 @@ func (s *Scanner) newWorkerState() *workerState {
 // Cancelling ctx stops the scan between chunks: already-probed results
 // are returned (a prefix of the scan order) together with ctx.Err().
 func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]Result, error) {
-	// Dedup always returns a fresh slice, so the shuffle below never
-	// reorders the caller's (routinely shared) seed/candidate list.
-	targets = ipaddr.Dedup(targets)
-	if s.set.shuffle {
-		rng := rand.New(rand.NewSource(int64(mix64(s.set.secret, uint64(p), uint64(len(targets))))))
-		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
-	}
+	targets = PlanOrder(s.set.secret, s.set.shuffle, targets, p)
 
 	reg := s.set.tele
 	wall := reg.StartTimer("scanner.scan.wall_seconds")
@@ -349,6 +402,24 @@ func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p prot
 		return results[:probed], err
 	}
 	return results, nil
+}
+
+// PlanOrder computes the exact probe order a scanner configured with
+// (secret, shuffle) uses for one ScanContext call: targets deduplicated
+// into a fresh slice and, when shuffle is set, permuted by the
+// secret-keyed shuffle. Dedup always copies, so the caller's (routinely
+// shared) seed/candidate list is never reordered.
+//
+// It is exported so a cluster coordinator can pre-compute the canonical
+// result order of the equivalent single-scanner run before
+// hash-partitioning the targets across workers.
+func PlanOrder(secret uint64, shuffle bool, targets []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr {
+	targets = ipaddr.Dedup(targets)
+	if shuffle {
+		rng := rand.New(rand.NewSource(int64(mix64(secret, uint64(p), uint64(len(targets))))))
+		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+	}
+	return targets
 }
 
 // ScanActive is a convenience wrapper returning only hit addresses.

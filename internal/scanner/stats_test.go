@@ -1,0 +1,95 @@
+package scanner
+
+import (
+	"testing"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/world"
+)
+
+// quietLink answers nothing; every target stays silent.
+type quietLink struct{}
+
+func (quietLink) Exchange(pkt []byte) [][]byte { return nil }
+
+// addrRange returns n consecutive addresses in unrouted space.
+func addrRange(n int) []ipaddr.Addr {
+	out := make([]ipaddr.Addr, n)
+	base := ipaddr.MustParse("2001:db8:57a7::")
+	for i := range out {
+		out[i] = base.AddLo(uint64(i))
+	}
+	return out
+}
+
+// TestStatsMergeEqualsWholeRun splits one target list into shards scanned
+// by independent scanners and checks that summing the per-shard snapshots
+// with Stats.Add reproduces the whole-run snapshot exactly — the property
+// the cluster merger depends on. Per-target outcomes are pure functions of
+// (target, secret, world), so the partitioning must not matter.
+func TestStatsMergeEqualsWholeRun(t *testing.T) {
+	w := world.New(world.Config{Seed: 42, NumASes: 60, LossRate: 0.05})
+	w.SetEpoch(world.ScanEpoch)
+	samp := w.NewSampler(1234)
+	targets := samp.ActiveHosts(300, proto.ICMP)
+	targets = append(targets, addrRange(200)...)
+
+	for _, p := range []proto.Protocol{proto.ICMP, proto.TCP443} {
+		whole := New(w.Link(), WithSecret(7))
+		whole.Scan(targets, p)
+		want := whole.Stats().Values()
+
+		merged := &Stats{}
+		const shards = 4
+		for i := 0; i < shards; i++ {
+			part := New(w.Link(), WithSecret(7))
+			part.Scan(targets[i*len(targets)/shards:(i+1)*len(targets)/shards], p)
+			merged.Add(part.Stats())
+		}
+		if got := merged.Values(); got != want {
+			t.Errorf("%v: merged shard stats %v != whole-run stats %v", p, got, want)
+		}
+	}
+}
+
+// TestStatsSubIsSnapshotDelta checks that Sub turns two snapshots of one
+// scanner into the contribution of the work between them.
+func TestStatsSubIsSnapshotDelta(t *testing.T) {
+	w := world.New(world.Config{Seed: 42, NumASes: 60, LossRate: 0})
+	w.SetEpoch(world.ScanEpoch)
+	s := New(w.Link(), WithSecret(7))
+	targets := addrRange(128)
+
+	s.Scan(targets[:64], proto.ICMP)
+	before := s.Stats()
+	s.Scan(targets[64:], proto.ICMP)
+	after := s.Stats()
+	after.Sub(before)
+
+	fresh := New(w.Link(), WithSecret(7))
+	fresh.Scan(targets[64:], proto.ICMP)
+	if got, want := after.Values(), fresh.Stats().Values(); got != want {
+		t.Errorf("snapshot delta %v != fresh-run stats %v", got, want)
+	}
+}
+
+// TestPlanOrderMatchesScanOrder pins PlanOrder to the order ScanContext
+// actually probes and returns results in.
+func TestPlanOrderMatchesScanOrder(t *testing.T) {
+	targets := addrRange(500)
+	// Duplicate some entries: PlanOrder must dedup exactly like Scan.
+	targets = append(targets, targets[:50]...)
+
+	s := New(quietLink{}, WithSecret(99))
+	res := s.Scan(targets, proto.TCP80)
+	plan := PlanOrder(99, true, targets, proto.TCP80)
+	if len(res) != len(plan) {
+		t.Fatalf("plan has %d targets, scan returned %d results", len(plan), len(res))
+	}
+	for i := range plan {
+		if res[i].Addr != plan[i] {
+			t.Fatalf("order diverges at %d: plan %v, scan %v", i, plan[i], res[i].Addr)
+		}
+	}
+}
