@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scanner bench-cluster cover experiments clean
+.PHONY: all build vet test race bench bench-scanner bench-cluster bench-tga cover experiments clean
 
 all: vet build test
 
@@ -34,6 +34,13 @@ bench-scanner:
 bench-cluster:
 	$(GO) test -run '^TestWriteClusterBenchBaseline$$' -count=1 -v \
 		-cluster-bench-out BENCH_cluster.json .
+
+# Regenerate the committed TGA driver baseline: the offline-generator ×
+# protocol grid, serial-and-uncached vs pipelined-and-cached. Fails if
+# the optimized driver falls below 1.5x the serial grid.
+bench-tga:
+	$(GO) test -run '^TestWriteTGABenchBaseline$$' -count=1 -v \
+		-tga-bench-out BENCH_tga.json .
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -270,13 +270,13 @@ func cmdRun(args []string) error {
 	var seedSet []ipaddrAddr
 	switch *dataset {
 	case "full":
-		seedSet = env.Full.Slice()
+		seedSet = env.Full.SortedSlice()
 	case "dealiased":
-		seedSet = env.DealiasedSeeds(alias.ModeJoint).Slice()
+		seedSet = env.DealiasedSeeds(alias.ModeJoint).SortedSlice()
 	case "allactive":
-		seedSet = env.AllActiveSeeds().Slice()
+		seedSet = env.AllActiveSeeds().SortedSlice()
 	case "port":
-		seedSet = env.PortActiveSeeds(p).Slice()
+		seedSet = env.PortActiveSeeds(p).SortedSlice()
 	default:
 		return fmt.Errorf("unknown seed treatment %q", *dataset)
 	}

@@ -157,7 +157,8 @@ func (d *Dealiaser) PrefixesTested() int {
 
 // Split separates addrs into clean (kept) and aliased (discarded)
 // according to the mode. Online testing batches all unknown /96s into one
-// scan.
+// scan. Both partitions preserve the input order (offline-listed aliases
+// first under ModeJoint), so a run's hit list is reproducible.
 func (d *Dealiaser) Split(addrs []ipaddr.Addr) (clean, aliased []ipaddr.Addr) {
 	if d.mode == ModeNone || len(addrs) == 0 {
 		return addrs, nil
@@ -196,12 +197,14 @@ func (d *Dealiaser) Split(addrs []ipaddr.Addr) (clean, aliased []ipaddr.Addr) {
 		<-ch
 	}
 
+	// Classify by walking pending, not byPrefix: map iteration order would
+	// make the output order differ run to run.
 	d.mu.Lock()
-	for p, group := range byPrefix {
-		if d.verdict[p] {
-			aliased = append(aliased, group...)
+	for _, a := range pending {
+		if d.verdict[ipaddr.PrefixFrom(a, AliasPrefixBits)] {
+			aliased = append(aliased, a)
 		} else {
-			clean = append(clean, group...)
+			clean = append(clean, a)
 		}
 	}
 	d.mu.Unlock()

@@ -73,7 +73,7 @@ func (e *Env) ScanAgreement(targets []ipaddr.Addr, p proto.Protocol) float64 {
 // depends on feedback frequency (DESIGN.md decision 3).
 func (e *Env) BatchSizeAblation(gen string, p proto.Protocol, budget int, sizes []int) (map[int]int, error) {
 	out := make(map[int]int, len(sizes))
-	seedSet := e.AllActiveSeeds().Slice()
+	seedSet := e.AllActiveSeeds().SortedSlice()
 	for _, bs := range sizes {
 		g, err := all.New(gen)
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 	"seedscan/internal/telemetry"
 	"seedscan/internal/tga"
 	"seedscan/internal/tga/all"
+	"seedscan/internal/tga/modelcache"
 	"seedscan/internal/world"
 )
 
@@ -109,6 +110,10 @@ type Env struct {
 	activeByP   map[proto.Protocol]*ipaddr.Set // responsive joint-dealiased seeds per protocol
 	allActive   *seeds.Dataset
 	outDealiase map[proto.Protocol]*alias.Dealiaser
+	// models caches mined TGA seed models across runs: grid cells that fix
+	// the seed treatment and vary only the protocol (the paper's own
+	// methodology) reuse the model instead of re-mining it per cell.
+	models *modelcache.Cache
 }
 
 // NewEnv builds the world, collects all seed sources at the collection
@@ -148,7 +153,9 @@ func NewEnv(cfg EnvConfig) *Env {
 		dealiased:   make(map[alias.Mode]*seeds.Dataset),
 		activeByP:   make(map[proto.Protocol]*ipaddr.Set),
 		outDealiase: make(map[proto.Protocol]*alias.Dealiaser),
+		models:      modelcache.New(),
 	}
+	e.models.SetTelemetry(tr.Registry())
 	e.Prober = e.Scanner
 	if cfg.ClusterWorkers > 1 {
 		// The pool's worker scanners replicate the reference scanner's
@@ -264,6 +271,7 @@ func (e *Env) RunTGACtx(ctx context.Context, name string, seedSet []ipaddr.Addr,
 		Prober:       e.Prober,
 		Dealiaser:    e.OutputDealiaser(p),
 		ExcludeSeeds: true,
+		Models:       e.models,
 	})
 	if err != nil {
 		return TGAResult{}, err

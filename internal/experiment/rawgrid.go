@@ -30,25 +30,25 @@ var GridDatasets = []string{
 func (e *Env) gridSeeds(label string) []ipaddr.Addr {
 	switch label {
 	case "All":
-		return e.Full.Slice()
+		return e.Full.SortedSlice()
 	case "Offline Dealiased":
-		return e.DealiasedSeeds(alias.ModeOffline).Slice()
+		return e.DealiasedSeeds(alias.ModeOffline).SortedSlice()
 	case "Online Dealiased":
-		return e.DealiasedSeeds(alias.ModeOnline).Slice()
+		return e.DealiasedSeeds(alias.ModeOnline).SortedSlice()
 	case "Active-Inactive":
 		// The paper's shorthand for the joint-dealiased dataset, which
 		// still mixes responsive and unresponsive seeds.
-		return e.DealiasedSeeds(alias.ModeJoint).Slice()
+		return e.DealiasedSeeds(alias.ModeJoint).SortedSlice()
 	case "All Active":
-		return e.AllActiveSeeds().Slice()
+		return e.AllActiveSeeds().SortedSlice()
 	case "ICMP":
-		return e.PortActiveSeeds(proto.ICMP).Slice()
+		return e.PortActiveSeeds(proto.ICMP).SortedSlice()
 	case "TCP80":
-		return e.PortActiveSeeds(proto.TCP80).Slice()
+		return e.PortActiveSeeds(proto.TCP80).SortedSlice()
 	case "TCP443":
-		return e.PortActiveSeeds(proto.TCP443).Slice()
+		return e.PortActiveSeeds(proto.TCP443).SortedSlice()
 	case "UDP53":
-		return e.PortActiveSeeds(proto.UDP53).Slice()
+		return e.PortActiveSeeds(proto.UDP53).SortedSlice()
 	}
 	return nil
 }

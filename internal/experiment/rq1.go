@@ -87,8 +87,8 @@ func (e *Env) RunRQ1a(protos []proto.Protocol, gens []string, budget int) (*Comp
 // RunRQ1aCtx is RunRQ1a under a context.
 func (e *Env) RunRQ1aCtx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
 	return e.compare(ctx, "RQ1.a / Figure 3", "Full", "Dealiased",
-		func(proto.Protocol) []ipaddr.Addr { return e.Full.Slice() },
-		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).Slice() },
+		func(proto.Protocol) []ipaddr.Addr { return e.Full.SortedSlice() },
+		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).SortedSlice() },
 		protos, gens, budget)
 }
 
@@ -116,7 +116,7 @@ func (e *Env) RunTable4Ctx(ctx context.Context, gens []string, budget int) (*Tab
 	// Materialize treatments and the dealiaser before fanning out.
 	seedSets := make([][]ipaddr.Addr, len(alias.Modes))
 	for i, mode := range alias.Modes {
-		seedSets[i] = e.DealiasedSeeds(mode).Slice()
+		seedSets[i] = e.DealiasedSeeds(mode).SortedSlice()
 	}
 	e.OutputDealiaser(proto.ICMP)
 	rows := make([][4]int, len(gens))
@@ -164,8 +164,8 @@ func (e *Env) RunRQ1b(protos []proto.Protocol, gens []string, budget int) (*Comp
 // RunRQ1bCtx is RunRQ1b under a context.
 func (e *Env) RunRQ1bCtx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
 	return e.compare(ctx, "RQ1.b / Figure 4", "Dealiased", "All Active",
-		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).Slice() },
-		func(proto.Protocol) []ipaddr.Addr { return e.AllActiveSeeds().Slice() },
+		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).SortedSlice() },
+		func(proto.Protocol) []ipaddr.Addr { return e.AllActiveSeeds().SortedSlice() },
 		protos, gens, budget)
 }
 

@@ -17,8 +17,8 @@ func (e *Env) RunRQ2(protos []proto.Protocol, gens []string, budget int) (*Compa
 // RunRQ2Ctx is RunRQ2 under a context.
 func (e *Env) RunRQ2Ctx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
 	return e.compare(ctx, "RQ2 / Figure 5", "All Active", "Port-Specific",
-		func(proto.Protocol) []ipaddr.Addr { return e.AllActiveSeeds().Slice() },
-		func(p proto.Protocol) []ipaddr.Addr { return e.PortActiveSeeds(p).Slice() },
+		func(proto.Protocol) []ipaddr.Addr { return e.AllActiveSeeds().SortedSlice() },
+		func(p proto.Protocol) []ipaddr.Addr { return e.PortActiveSeeds(p).SortedSlice() },
 		protos, gens, budget)
 }
 
@@ -49,9 +49,9 @@ func (e *Env) RunCrossPortCtx(ctx context.Context, gens []string, budget int) (*
 	res := &CrossPortResult{Budget: budget, Gens: gens}
 	inputs := make([][]ipaddr.Addr, 0, proto.Count+1)
 	for _, p := range proto.All {
-		inputs = append(inputs, e.PortActiveSeeds(p).Slice())
+		inputs = append(inputs, e.PortActiveSeeds(p).SortedSlice())
 	}
-	inputs = append(inputs, e.AllActiveSeeds().Slice())
+	inputs = append(inputs, e.AllActiveSeeds().SortedSlice())
 
 	cells, done := len(inputs)*int(proto.Count), 0
 	for i, seedSet := range inputs {

@@ -54,7 +54,7 @@ func (e *Env) RunRQ3Ctx(ctx context.Context, protos []proto.Protocol, gens []str
 	}
 	var jobs []job
 	for _, src := range sources {
-		seedSet := e.SourceActiveSeeds(src).Slice()
+		seedSet := e.SourceActiveSeeds(src).SortedSlice()
 		res.Outcome[src] = make(map[proto.Protocol]map[string]metrics.Outcome)
 		res.Hits[src] = make(map[proto.Protocol]map[string][]ipaddr.Addr)
 		for _, p := range protos {
@@ -114,7 +114,7 @@ func (e *Env) RunTable5Ctx(ctx context.Context, rq3 *RQ3Result) (*Table5Result, 
 	db := e.World.ASDB()
 	bigBudget := rq3.Budget * len(rq3.Sources)
 	res := &Table5Result{}
-	allActive := e.AllActiveSeeds().Slice()
+	allActive := e.AllActiveSeeds().SortedSlice()
 	for _, g := range rq3.Gens {
 		combined := ipaddr.NewSet()
 		for _, src := range rq3.Sources {

@@ -39,7 +39,7 @@ func (e *Env) RunRQ4Ctx(ctx context.Context, protos []proto.Protocol, gens []str
 		HitOrder: make(map[proto.Protocol][]metrics.Contribution),
 		ASOrder:  make(map[proto.Protocol][]metrics.Contribution),
 	}
-	seedSet := e.AllActiveSeeds().Slice()
+	seedSet := e.AllActiveSeeds().SortedSlice()
 	db := e.World.ASDB()
 	total := len(protos) * len(gens)
 	var done atomic.Int64

@@ -1,0 +1,124 @@
+package ipaddr
+
+// OASet is an insert-only address set built on the same flat open
+// addressing as Dedup: slots hold index+1 into the insertion-ordered
+// backing slice (0 = empty), so membership tests touch one int32 table
+// instead of hashing 16-byte keys through the runtime map. Unlike Dedup it
+// grows, which makes it the right shape for the TGA driver's budget-sized
+// dedup sets. The zero value is not usable; construct with NewOASet. Not
+// safe for concurrent use.
+type OASet struct {
+	table []int32
+	addrs []Addr
+	mask  uint64
+}
+
+// NewOASet returns an empty set pre-sized for about capHint addresses.
+func NewOASet(capHint int) *OASet {
+	size := 16
+	for size < 2*capHint {
+		size <<= 1
+	}
+	return &OASet{
+		table: make([]int32, size),
+		addrs: make([]Addr, 0, capHint),
+		mask:  uint64(size - 1),
+	}
+}
+
+// NewOASetFrom returns a set holding the unique addresses of addrs.
+func NewOASetFrom(addrs []Addr) *OASet {
+	s := NewOASet(len(addrs))
+	for _, a := range addrs {
+		s.Add(a)
+	}
+	return s
+}
+
+// Add inserts a, reporting whether it was newly added.
+func (s *OASet) Add(a Addr) bool {
+	if 2*(len(s.addrs)+1) > len(s.table) {
+		s.grow()
+	}
+	h := dedupHash(a) & s.mask
+	for {
+		idx := s.table[h]
+		if idx == 0 {
+			s.table[h] = int32(len(s.addrs) + 1)
+			s.addrs = append(s.addrs, a)
+			return true
+		}
+		if s.addrs[idx-1] == a {
+			return false
+		}
+		h = (h + 1) & s.mask
+	}
+}
+
+// Contains reports membership.
+func (s *OASet) Contains(a Addr) bool {
+	h := dedupHash(a) & s.mask
+	for {
+		idx := s.table[h]
+		if idx == 0 {
+			return false
+		}
+		if s.addrs[idx-1] == a {
+			return true
+		}
+		h = (h + 1) & s.mask
+	}
+}
+
+// Len returns the number of addresses.
+func (s *OASet) Len() int { return len(s.addrs) }
+
+// Slice returns the addresses in insertion order. The slice is shared with
+// the set; callers must not mutate it while the set is in use.
+func (s *OASet) Slice() []Addr { return s.addrs }
+
+// grow doubles the table and rehashes. The backing slice carries the
+// insertion order, so rehashing just re-derives the slots.
+func (s *OASet) grow() {
+	size := 2 * len(s.table)
+	s.table = make([]int32, size)
+	s.mask = uint64(size - 1)
+	for i, a := range s.addrs {
+		h := dedupHash(a) & s.mask
+		for s.table[h] != 0 {
+			h = (h + 1) & s.mask
+		}
+		s.table[h] = int32(i + 1)
+	}
+}
+
+// DedupSorted returns addrs with adjacent duplicates removed. On sorted
+// input (the canonical seed order) that is full deduplication, in order,
+// without hashing. Duplicate-free input is returned as-is, uncopied.
+func DedupSorted(addrs []Addr) []Addr {
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] == addrs[i-1] {
+			out := append([]Addr(nil), addrs[:i]...)
+			for ; i < len(addrs); i++ {
+				if addrs[i] != addrs[i-1] {
+					out = append(out, addrs[i])
+				}
+			}
+			return out
+		}
+	}
+	return addrs
+}
+
+// Digest folds addrs into an order-sensitive 64-bit digest — the seed
+// fingerprint the TGA model cache keys on. Callers that need a canonical
+// digest (the cache does) must pass the seeds in canonical sorted order.
+func Digest(addrs []Addr) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) ^ uint64(len(addrs))
+	for _, a := range addrs {
+		h ^= dedupHash(a)
+		h *= 0x100000001b3
+		h ^= h >> 32
+	}
+	return h
+}

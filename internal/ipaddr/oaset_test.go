@@ -1,0 +1,92 @@
+package ipaddr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOASetAddContains(t *testing.T) {
+	s := NewOASet(4)
+	a := MustParse("2001:db8::1")
+	b := MustParse("2001:db8::2")
+	if !s.Add(a) {
+		t.Fatal("first Add reported duplicate")
+	}
+	if s.Add(a) {
+		t.Fatal("second Add reported new")
+	}
+	if !s.Contains(a) || s.Contains(b) {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	// The zero address is a valid member (index+1 slots, 0 = empty).
+	var zero Addr
+	if s.Contains(zero) {
+		t.Fatal("zero address reported present")
+	}
+	if !s.Add(zero) || !s.Contains(zero) {
+		t.Fatal("zero address not storable")
+	}
+}
+
+func TestOASetGrowMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewOASet(0) // force growth from the minimum table
+	ref := make(map[Addr]bool)
+	base := MustParse("2001:db8::")
+	for i := 0; i < 20000; i++ {
+		a := base.AddLo(uint64(rng.Intn(8000)))
+		if got, want := s.Add(a), !ref[a]; got != want {
+			t.Fatalf("Add(%v) = %v, want %v", a, got, want)
+		}
+		ref[a] = true
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("len = %d, want %d", s.Len(), len(ref))
+	}
+	for a := range ref {
+		if !s.Contains(a) {
+			t.Fatalf("lost %v after growth", a)
+		}
+	}
+	// Insertion order is preserved across growth: Slice is duplicate-free
+	// and complete.
+	seen := make(map[Addr]bool)
+	for _, a := range s.Slice() {
+		if seen[a] {
+			t.Fatalf("duplicate %v in Slice", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) != len(ref) {
+		t.Fatalf("Slice has %d unique, want %d", len(seen), len(ref))
+	}
+}
+
+func TestOASetFrom(t *testing.T) {
+	addrs := []Addr{MustParse("::1"), MustParse("::2"), MustParse("::1")}
+	s := NewOASetFrom(addrs)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestDigestOrderAndContentSensitivity(t *testing.T) {
+	a := []Addr{MustParse("::1"), MustParse("::2"), MustParse("::3")}
+	b := []Addr{MustParse("::2"), MustParse("::1"), MustParse("::3")}
+	c := []Addr{MustParse("::1"), MustParse("::2")}
+	if Digest(a) != Digest(a) {
+		t.Fatal("digest not deterministic")
+	}
+	if Digest(a) == Digest(b) {
+		t.Fatal("digest ignores order")
+	}
+	if Digest(a) == Digest(c) {
+		t.Fatal("digest ignores length")
+	}
+	if Digest(nil) != Digest([]Addr{}) {
+		t.Fatal("empty digests differ")
+	}
+}

@@ -1,6 +1,9 @@
 package seeds
 
 import (
+	"sort"
+	"sync"
+
 	"seedscan/internal/asdb"
 	"seedscan/internal/ipaddr"
 )
@@ -9,6 +12,9 @@ import (
 type Dataset struct {
 	Name  string
 	Addrs *ipaddr.Set
+
+	sortOnce   sync.Once
+	sortedView []ipaddr.Addr
 }
 
 // NewDataset builds an empty dataset.
@@ -33,6 +39,20 @@ func (d *Dataset) Len() int { return d.Addrs.Len() }
 
 // Slice returns the addresses in unspecified order.
 func (d *Dataset) Slice() []ipaddr.Addr { return d.Addrs.Slice() }
+
+// SortedSlice returns the addresses in canonical ascending order — the
+// order Generator.Init expects — computed once and cached, so a treatment
+// used across many grid cells sorts once instead of per run. The returned
+// slice is shared: callers must treat it as read-only, and the dataset
+// must not be mutated after the first call.
+func (d *Dataset) SortedSlice() []ipaddr.Addr {
+	d.sortOnce.Do(func() {
+		s := d.Addrs.Slice()
+		sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+		d.sortedView = s
+	})
+	return d.sortedView
+}
 
 // Clone deep-copies the dataset under a new name.
 func (d *Dataset) Clone(name string) *Dataset {

@@ -100,9 +100,17 @@ func (g *Generator) Online() bool { return true }
 // Init unions the run's seeds with the long-term memory before handing
 // them to the DET core — the accumulated knowledge is what lets AddrMiner
 // keep improving across measurement campaigns.
+//
+// AddrMiner deliberately does NOT implement tga.ModelBuilder: its
+// effective seed set depends on the Store's current contents, which grow
+// with every run, so a model keyed only on (seeds, params) would go stale
+// the moment memory changes. The DET core still mines in parallel on
+// large pools via BuildTreeAuto.
 func (g *Generator) Init(seedAddrs []ipaddr.Addr) error {
-	pool := ipaddr.NewSet(seedAddrs...)
-	pool.AddAll(g.Memory.Snapshot())
+	pool := ipaddr.NewOASetFrom(seedAddrs)
+	for _, a := range g.Memory.Snapshot() {
+		pool.Add(a)
+	}
 	return g.inner.Init(pool.Slice())
 }
 

@@ -20,6 +20,21 @@ import (
 // Names lists the eight TGAs in the paper's canonical order.
 var Names = []string{"6Sense", "DET", "6Tree", "6Scan", "6Graph", "6Gen", "6Hit", "EIP"}
 
+// All eight studied TGAs support the model/run-state split, which is what
+// lets the model cache reuse their mined seed models across protocols.
+// AddrMiner is deliberately absent: its model depends on the mutable
+// long-term Store (see the addrminer package).
+var (
+	_ tga.ModelBuilder = (*sixsense.Generator)(nil)
+	_ tga.ModelBuilder = (*det.Generator)(nil)
+	_ tga.ModelBuilder = (*sixtree.Generator)(nil)
+	_ tga.ModelBuilder = (*sixscan.Generator)(nil)
+	_ tga.ModelBuilder = (*sixgraph.Generator)(nil)
+	_ tga.ModelBuilder = (*sixgen.Generator)(nil)
+	_ tga.ModelBuilder = (*sixhit.Generator)(nil)
+	_ tga.ModelBuilder = (*entropyip.Generator)(nil)
+)
+
 // ExtendedNames adds the generators implemented beyond the paper's study
 // set (AddrMiner, the DET-derived long-term miner whose hitlist §5.1
 // consumes as a seed source).

@@ -8,6 +8,7 @@ package det
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"seedscan/internal/ipaddr"
@@ -45,13 +46,35 @@ func (g *Generator) Name() string { return "DET" }
 // Online implements tga.Generator.
 func (g *Generator) Online() bool { return true }
 
-// Init builds the initial entropy-split tree.
-func (g *Generator) Init(seeds []ipaddr.Addr) error {
-	if len(seeds) == 0 {
-		return errors.New("det: empty seed set")
-	}
+func (g *Generator) minLeaf() int {
 	if g.MinLeaf <= 0 {
-		g.MinLeaf = 4
+		return 4
+	}
+	return g.MinLeaf
+}
+
+// ModelParams implements tga.ModelBuilder. Only MinLeaf shapes the initial
+// tree; RebuildEvery and Explore steer the online search and are excluded.
+func (g *Generator) ModelParams() string {
+	return fmt.Sprintf("minleaf=%d", g.minLeaf())
+}
+
+// BuildModel implements tga.ModelBuilder: the initial min-entropy space
+// tree over the (deduplicated) seeds. Online rebuilds fold hits in and are
+// per-run state, so only this first tree is cacheable.
+func (g *Generator) BuildModel(seeds []ipaddr.Addr) (tga.Model, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("det: empty seed set")
+	}
+	uniq := ipaddr.DedupSorted(seeds)
+	return tga.SnapshotTree(tga.BuildTreeAuto(uniq, g.minLeaf(), tga.SplitMinEntropy)), nil
+}
+
+// InitFromModel implements tga.ModelBuilder.
+func (g *Generator) InitFromModel(m tga.Model, seeds []ipaddr.Addr) error {
+	tm, ok := m.(*tga.TreeModel)
+	if !ok {
+		return fmt.Errorf("det: model type %T", m)
 	}
 	if g.RebuildEvery <= 0 {
 		g.RebuildEvery = 16
@@ -59,17 +82,30 @@ func (g *Generator) Init(seeds []ipaddr.Addr) error {
 	if g.Explore <= 0 {
 		g.Explore = 0.35
 	}
+	g.MinLeaf = g.minLeaf()
 	g.seeds = seeds
 	g.pending = make(map[ipaddr.Addr]*tga.TreeNode)
 	g.emitted = ipaddr.NewSet()
-	g.rebuild()
+	g.leaves = tm.Leaves()
+	g.rebuilds++
 	return nil
 }
 
+// Init builds the initial entropy-split tree.
+func (g *Generator) Init(seeds []ipaddr.Addr) error {
+	m, err := g.BuildModel(seeds)
+	if err != nil {
+		return err
+	}
+	return g.InitFromModel(m, seeds)
+}
+
 func (g *Generator) rebuild() {
-	seedSet := ipaddr.NewSet(g.seeds...)
-	seedSet.AddAll(g.hits)
-	root := tga.BuildTree(seedSet.Slice(), g.MinLeaf, tga.SplitMinEntropy)
+	seedSet := ipaddr.NewOASetFrom(g.seeds)
+	for _, h := range g.hits {
+		seedSet.Add(h)
+	}
+	root := tga.BuildTreeAuto(seedSet.Slice(), g.MinLeaf, tga.SplitMinEntropy)
 	g.leaves = root.Leaves()
 	g.rebuilds++
 }

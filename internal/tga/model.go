@@ -1,0 +1,160 @@
+package tga
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"seedscan/internal/ipaddr"
+)
+
+// Model is an opaque seed model mined by a ModelBuilder: the expensive,
+// immutable product of Init (6Gen's clustering, Entropy/IP's segment
+// tables, the tree TGAs' space trees, 6Sense's Markov arms) separated from
+// the per-run mutable state (enumerators, dedup sets, reward counters).
+// A Model must be treated as read-only by every holder, which is what
+// makes it safe to share across runs, protocols, and goroutines.
+type Model any
+
+// ModelBuilder is the optional generator surface that splits model
+// construction out of Init. All eight studied TGAs implement it; the
+// driver and the cross-run model cache (internal/tga/modelcache) use it to
+// mine a seed model once and reuse it for every run over the same
+// treatment.
+//
+// The contract: BuildModel is deterministic given canonically sorted
+// seeds, touches no run state, and returns an immutable Model.
+// InitFromModel replaces Init, adopting a Model previously produced by
+// BuildModel with the same seeds and ModelParams; it must create fresh
+// mutable run state and must not write through the Model. Init remains
+// equivalent to BuildModel followed by InitFromModel.
+type ModelBuilder interface {
+	Generator
+	// ModelParams canonically encodes every parameter that shapes the
+	// mined model (clustering radius, entropy threshold, leaf size...).
+	// Runtime-only knobs — sampling seeds, exploration shares — are
+	// excluded: they do not change what BuildModel produces.
+	ModelParams() string
+	// BuildModel mines the seed model. Seeds must be in canonical sorted
+	// order (Generator.Init's contract).
+	BuildModel(seeds []ipaddr.Addr) (Model, error)
+	// InitFromModel adopts m (built from the same seeds and params) in
+	// place of Init.
+	InitFromModel(m Model, seeds []ipaddr.Addr) error
+}
+
+// ModelSource resolves a generator's mined model, typically from a
+// cross-run cache. RunConfig.Models plugs one into the driver.
+type ModelSource interface {
+	GetOrBuild(ctx context.Context, g ModelBuilder, seeds []ipaddr.Addr) (Model, error)
+}
+
+// ParallelMineThreshold is the seed count at or above which model mining
+// (tree construction, clustering, per-segment value counting, arm
+// training) fans out across CPUs. Below it the serial path wins on
+// overhead. Parallel and serial mining produce identical models; tests
+// lower this to pin that.
+var ParallelMineThreshold = 4096
+
+// MineWorkers is the mining fan-out width.
+func MineWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// MineParallel runs fn(0..n-1) on up to MineWorkers goroutines and waits.
+// Work items must be independent; fn is responsible for writing results to
+// disjoint slots so the combined output is deterministic.
+func MineParallel(n int, fn func(i int)) {
+	workers := MineWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		next int64
+		mu   sync.Mutex
+	)
+	claim := func() int {
+		mu.Lock()
+		i := int(next)
+		next++
+		mu.Unlock()
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TreeLeafModel is one leaf of a snapshotted space tree: the mined pattern
+// masks and the seed group that produced them. Both are read-only.
+type TreeLeafModel struct {
+	Masks [ipaddr.NybbleCount]ValueMask
+	Seeds []ipaddr.Addr
+}
+
+// TreeModel is the reusable product of space-tree construction: the leaves
+// in DHC (depth-first, value-sorted) order, decoupled from the mutable
+// TreeNode run state (LeafGen cursors, online probe/hit counters). It is
+// the shared Model type of the four tree TGAs (6Tree, DET, 6Hit, 6Scan)
+// and the input to 6Graph's pattern merging.
+type TreeModel struct {
+	LeafModels []TreeLeafModel
+	NodeCount  int
+}
+
+// SnapshotTree captures root's leaves as an immutable TreeModel.
+func SnapshotTree(root *TreeNode) *TreeModel {
+	leaves := root.Leaves()
+	m := &TreeModel{
+		LeafModels: make([]TreeLeafModel, len(leaves)),
+		NodeCount:  root.CountNodes(),
+	}
+	for i, l := range leaves {
+		m.LeafModels[i] = TreeLeafModel{Masks: l.Masks, Seeds: l.Seeds}
+	}
+	return m
+}
+
+// Leaves materializes fresh mutable leaf nodes — new LeafGens, zeroed
+// online counters — over the model's read-only patterns and seed groups.
+// Each call returns independent nodes, so many runs can adopt one model.
+func (m *TreeModel) Leaves() []*TreeNode {
+	out := make([]*TreeNode, len(m.LeafModels))
+	for i, lm := range m.LeafModels {
+		out[i] = &TreeNode{
+			Seeds:    lm.Seeds,
+			SplitPos: -1,
+			Masks:    lm.Masks,
+			Gen:      NewLeafGen(lm.Masks, nil),
+		}
+	}
+	return out
+}
+
+// LeafCount reports the number of leaves.
+func (m *TreeModel) LeafCount() int { return len(m.LeafModels) }

@@ -1,0 +1,110 @@
+package tga
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"seedscan/internal/ipaddr"
+)
+
+// synthSeeds builds a sorted seed set spread over several /32s with
+// clustered low nybbles, enough structure for nontrivial trees.
+func synthSeeds(t testing.TB, n int) []ipaddr.Addr {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	set := ipaddr.NewOASet(n)
+	prefixes := []string{"2001:db8::", "2001:db9::", "2a01:4f8::", "2400:cb00::"}
+	for set.Len() < n {
+		base := ipaddr.MustParse(prefixes[rng.Intn(len(prefixes))])
+		set.Add(base.AddLo(uint64(rng.Intn(1 << 14))))
+	}
+	seeds := append([]ipaddr.Addr(nil), set.Slice()...)
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].Less(seeds[j]) })
+	return seeds
+}
+
+func treesEqual(t *testing.T, a, b *TreeNode) {
+	t.Helper()
+	if a.SplitPos != b.SplitPos {
+		t.Fatalf("SplitPos %d != %d", a.SplitPos, b.SplitPos)
+	}
+	if len(a.Seeds) != len(b.Seeds) {
+		t.Fatalf("seed count %d != %d", len(a.Seeds), len(b.Seeds))
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+	if a.Masks != b.Masks {
+		t.Fatalf("masks differ at node with %d seeds", len(a.Seeds))
+	}
+	if len(a.Children) != len(b.Children) {
+		t.Fatalf("child count %d != %d", len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		treesEqual(t, a.Children[i], b.Children[i])
+	}
+}
+
+func TestBuildTreeParallelMatchesSerial(t *testing.T) {
+	seeds := synthSeeds(t, 6000)
+	for _, h := range []struct {
+		name string
+		fn   SplitHeuristic
+	}{{"leftmost", SplitLeftmost}, {"minentropy", SplitMinEntropy}} {
+		t.Run(h.name, func(t *testing.T) {
+			serial := BuildTree(seeds, 4, h.fn)
+			par := BuildTreeParallel(seeds, 4, h.fn)
+			treesEqual(t, serial, par)
+			if serial.CountNodes() != par.CountNodes() {
+				t.Fatalf("node count %d != %d", serial.CountNodes(), par.CountNodes())
+			}
+		})
+	}
+}
+
+func TestBuildTreeAutoThreshold(t *testing.T) {
+	seeds := synthSeeds(t, 512)
+	old := ParallelMineThreshold
+	defer func() { ParallelMineThreshold = old }()
+	ParallelMineThreshold = 1 // force the parallel path on a small set
+	treesEqual(t, BuildTree(seeds, 4, SplitLeftmost), BuildTreeAuto(seeds, 4, SplitLeftmost))
+}
+
+func TestTreeModelLeavesIndependent(t *testing.T) {
+	seeds := synthSeeds(t, 1000)
+	root := BuildTree(seeds, 4, SplitLeftmost)
+	m := SnapshotTree(root)
+	if m.LeafCount() != len(root.Leaves()) {
+		t.Fatalf("leaf count %d != %d", m.LeafCount(), len(root.Leaves()))
+	}
+	if m.NodeCount != root.CountNodes() {
+		t.Fatalf("node count %d != %d", m.NodeCount, root.CountNodes())
+	}
+	a, b := m.Leaves(), m.Leaves()
+	// Materialized leaves are mutable run state: advancing one run's
+	// LeafGen or counters must not leak into another run over the model.
+	a[0].Probes = 99
+	a[0].Gen.Next()
+	if b[0].Probes != 0 {
+		t.Fatal("online counters shared between materializations")
+	}
+	if b[0].Gen == a[0].Gen {
+		t.Fatal("LeafGen shared between materializations")
+	}
+}
+
+func TestMineParallelCoversAll(t *testing.T) {
+	const n = 1000
+	var marks [n]int32
+	MineParallel(n, func(i int) { atomic.AddInt32(&marks[i], 1) })
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times", i, m)
+		}
+	}
+	MineParallel(0, func(i int) { t.Fatal("called for n=0") })
+}

@@ -1,0 +1,142 @@
+package modelcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/telemetry"
+	"seedscan/internal/tga"
+	"seedscan/internal/tga/sixtree"
+)
+
+// countingBuilder wraps a real ModelBuilder and counts BuildModel calls.
+type countingBuilder struct {
+	*sixtree.Generator
+	builds atomic.Int64
+	fail   bool
+}
+
+func (b *countingBuilder) BuildModel(seeds []ipaddr.Addr) (tga.Model, error) {
+	b.builds.Add(1)
+	if b.fail {
+		return nil, errors.New("boom")
+	}
+	return b.Generator.BuildModel(seeds)
+}
+
+func someSeeds(n int) []ipaddr.Addr {
+	base := ipaddr.MustParse("2001:db8::")
+	out := make([]ipaddr.Addr, n)
+	for i := range out {
+		out[i] = base.AddLo(uint64(i))
+	}
+	return out
+}
+
+func TestGetOrBuildCachesByKey(t *testing.T) {
+	c := New()
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(reg)
+	b := &countingBuilder{Generator: sixtree.New()}
+	seeds := someSeeds(100)
+
+	m1, err := c.GetOrBuild(context.Background(), b, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.GetOrBuild(context.Background(), b, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("same key returned different models")
+	}
+	if got := b.builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want 1", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache len = %d", c.Len())
+	}
+	if reg.Counter("tga.modelcache.hits").Load() != 1 ||
+		reg.Counter("tga.modelcache.misses").Load() != 1 {
+		t.Fatalf("counters hits=%d misses=%d",
+			reg.Counter("tga.modelcache.hits").Load(),
+			reg.Counter("tga.modelcache.misses").Load())
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	c := New()
+	b := &countingBuilder{Generator: sixtree.New()}
+	ctx := context.Background()
+	if _, err := c.GetOrBuild(ctx, b, someSeeds(100)); err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds → different key.
+	if _, err := c.GetOrBuild(ctx, b, someSeeds(101)); err != nil {
+		t.Fatal(err)
+	}
+	// Different params → different key.
+	b2 := &countingBuilder{Generator: &sixtree.Generator{MinLeaf: 8}}
+	if _, err := c.GetOrBuild(ctx, b2, someSeeds(100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.builds.Load() + b2.builds.Load(); got != 3 {
+		t.Fatalf("builds = %d, want 3", got)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache len = %d", c.Len())
+	}
+}
+
+func TestConcurrentSingleflight(t *testing.T) {
+	c := New()
+	b := &countingBuilder{Generator: sixtree.New()}
+	seeds := someSeeds(500)
+	var wg sync.WaitGroup
+	models := make([]tga.Model, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := c.GetOrBuild(context.Background(), b, seeds)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			models[i] = m
+		}(i)
+	}
+	wg.Wait()
+	if got := b.builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want 1 (singleflight)", got)
+	}
+	for i := 1; i < 16; i++ {
+		if models[i] != models[0] {
+			t.Fatal("concurrent requesters got different models")
+		}
+	}
+}
+
+func TestFailedBuildNotCached(t *testing.T) {
+	c := New()
+	b := &countingBuilder{Generator: sixtree.New(), fail: true}
+	seeds := someSeeds(10)
+	if _, err := c.GetOrBuild(context.Background(), b, seeds); err == nil {
+		t.Fatal("expected error")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed build cached, len = %d", c.Len())
+	}
+	b.fail = false
+	if _, err := c.GetOrBuild(context.Background(), b, seeds); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if got := b.builds.Load(); got != 2 {
+		t.Fatalf("builds = %d, want 2", got)
+	}
+}

@@ -11,6 +11,7 @@ package sixgen
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -39,6 +40,19 @@ type cluster struct {
 	gen   *tga.LeafGen
 }
 
+// Model is 6Gen's cacheable mined model: the clusters in density order,
+// without per-run enumerator state.
+type Model struct {
+	Clusters []ClusterModel
+}
+
+// ClusterModel is one mined cluster.
+type ClusterModel struct {
+	Rep   ipaddr.Addr
+	Masks [ipaddr.NybbleCount]tga.ValueMask
+	Size  int
+}
+
 // New returns a 6Gen generator with default parameters.
 func New() *Generator { return &Generator{MaxClusterRadius: 4, MaxClusters: 4096} }
 
@@ -48,33 +62,76 @@ func (g *Generator) Name() string { return "6Gen" }
 // Online implements tga.Generator. 6Gen generation is offline.
 func (g *Generator) Online() bool { return false }
 
-// Init clusters the seeds and prepares range enumerators.
-func (g *Generator) Init(seeds []ipaddr.Addr) error {
-	if len(seeds) == 0 {
-		return errors.New("sixgen: empty seed set")
-	}
+func (g *Generator) radius() int {
 	if g.MaxClusterRadius <= 0 {
-		g.MaxClusterRadius = 4
+		return 4
 	}
-	if g.MaxClusters <= 0 {
-		g.MaxClusters = 4096
-	}
+	return g.MaxClusterRadius
+}
 
+func (g *Generator) maxClusters() int {
+	if g.MaxClusters <= 0 {
+		return 4096
+	}
+	return g.MaxClusters
+}
+
+// ModelParams implements tga.ModelBuilder.
+func (g *Generator) ModelParams() string {
+	return fmt.Sprintf("radius=%d,maxclusters=%d", g.radius(), g.maxClusters())
+}
+
+// clusterRun greedily clusters one prefix's seeds (given by index, all
+// sharing Hi()), with no global cluster cap. This is exactly the serial
+// algorithm restricted to a single prefix: the prefix index already
+// confines clustering candidates to the same prefix, so per-prefix shards
+// are independent.
+func clusterRun(seeds []ipaddr.Addr, idx []int, radius int) []*cluster {
+	var clusters []*cluster
+	for _, j := range idx {
+		a := seeds[j]
+		var best *cluster
+		bestDist := radius + 1
+		for _, c := range clusters {
+			if d := c.rep.NybbleDistance(a); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		if best == nil {
+			c := &cluster{rep: a, size: 1}
+			for i := 0; i < ipaddr.NybbleCount; i++ {
+				c.masks[i] = 1 << a.Nybble(i)
+			}
+			clusters = append(clusters, c)
+			continue
+		}
+		for i := 0; i < ipaddr.NybbleCount; i++ {
+			best.masks[i] |= 1 << a.Nybble(i)
+		}
+		best.size++
+	}
+	return clusters
+}
+
+// clusterSerial is the reference greedy clustering with the global
+// MaxClusters cap: once the cap is reached, seeds join their prefix's
+// first cluster regardless of radius.
+func clusterSerial(seeds []ipaddr.Addr, radius, maxClusters int) []*cluster {
 	// Greedy clustering with a prefix index: seeds sharing their top 16
 	// nybbles are clustering candidates (cross-prefix seeds are farther
 	// than any useful radius anyway).
 	byPrefix := make(map[uint64][]*cluster)
-	g.clusters = g.clusters[:0]
+	var clusters []*cluster
 	for _, a := range seeds {
 		key := a.Hi()
 		var best *cluster
-		bestDist := g.MaxClusterRadius + 1
+		bestDist := radius + 1
 		for _, c := range byPrefix[key] {
 			if d := c.rep.NybbleDistance(a); d < bestDist {
 				best, bestDist = c, d
 			}
 		}
-		if best == nil && len(g.clusters) >= g.MaxClusters && len(byPrefix[key]) > 0 {
+		if best == nil && len(clusters) >= maxClusters && len(byPrefix[key]) > 0 {
 			best = byPrefix[key][0]
 		}
 		if best == nil {
@@ -83,7 +140,7 @@ func (g *Generator) Init(seeds []ipaddr.Addr) error {
 				c.masks[i] = 1 << a.Nybble(i)
 			}
 			byPrefix[key] = append(byPrefix[key], c)
-			g.clusters = append(g.clusters, c)
+			clusters = append(clusters, c)
 			continue
 		}
 		for i := 0; i < ipaddr.NybbleCount; i++ {
@@ -91,22 +148,106 @@ func (g *Generator) Init(seeds []ipaddr.Addr) error {
 		}
 		best.size++
 	}
+	return clusters
+}
 
+// mineClusters clusters the seeds, in parallel per-prefix shards when the
+// seed set is large. The prefix index confines clustering candidates to
+// their own prefix, so cap-free shards (grouped by prefix in first-seen
+// order, each processing its seeds in seed order) reproduce the serial
+// result exactly. The one coupling between prefixes is the global
+// MaxClusters cap: if the cap-free total exceeds it, the cap would have
+// bound serially too, and we redo the mine with the exact serial
+// semantics. (Conversely, a cap-free total at or under the cap proves the
+// serial run never force-joined, so the shard concatenation is the serial
+// result up to cluster order, which the density sort canonicalizes.)
+func (g *Generator) mineClusters(seeds []ipaddr.Addr) []*cluster {
+	radius, maxClusters := g.radius(), g.maxClusters()
+	if len(seeds) >= tga.ParallelMineThreshold {
+		keyIdx := make(map[uint64]int)
+		var groups [][]int
+		for i, a := range seeds {
+			k := a.Hi()
+			gi, ok := keyIdx[k]
+			if !ok {
+				gi = len(groups)
+				keyIdx[k] = gi
+				groups = append(groups, nil)
+			}
+			groups[gi] = append(groups[gi], i)
+		}
+		perGroup := make([][]*cluster, len(groups))
+		tga.MineParallel(len(groups), func(i int) {
+			perGroup[i] = clusterRun(seeds, groups[i], radius)
+		})
+		total := 0
+		for _, cs := range perGroup {
+			total += len(cs)
+		}
+		if total <= maxClusters {
+			out := make([]*cluster, 0, total)
+			for _, cs := range perGroup {
+				out = append(out, cs...)
+			}
+			return out
+		}
+	}
+	return clusterSerial(seeds, radius, maxClusters)
+}
+
+// BuildModel implements tga.ModelBuilder: it mines the clusters and
+// snapshots them in density order.
+func (g *Generator) BuildModel(seeds []ipaddr.Addr) (tga.Model, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("sixgen: empty seed set")
+	}
+	clusters := g.mineClusters(seeds)
 	// Density order: seeds per range combination, descending.
-	sort.SliceStable(g.clusters, func(i, j int) bool {
-		di := float64(g.clusters[i].size) / tga.MaskSize(g.clusters[i].masks)
-		dj := float64(g.clusters[j].size) / tga.MaskSize(g.clusters[j].masks)
+	sort.SliceStable(clusters, func(i, j int) bool {
+		di := float64(clusters[i].size) / tga.MaskSize(clusters[i].masks)
+		dj := float64(clusters[j].size) / tga.MaskSize(clusters[j].masks)
 		if di != dj {
 			return di > dj
 		}
-		return g.clusters[i].size > g.clusters[j].size
+		return clusters[i].size > clusters[j].size
 	})
-	for _, c := range g.clusters {
-		c.gen = tga.NewLeafGen(c.masks, nil)
+	m := &Model{Clusters: make([]ClusterModel, len(clusters))}
+	for i, c := range clusters {
+		m.Clusters[i] = ClusterModel{Rep: c.rep, Masks: c.masks, Size: c.size}
+	}
+	return m, nil
+}
+
+// InitFromModel implements tga.ModelBuilder: it materializes fresh
+// per-run enumerators over the mined clusters.
+func (g *Generator) InitFromModel(m tga.Model, seeds []ipaddr.Addr) error {
+	mm, ok := m.(*Model)
+	if !ok {
+		return fmt.Errorf("sixgen: model type %T", m)
+	}
+	g.MaxClusterRadius = g.radius()
+	g.MaxClusters = g.maxClusters()
+	g.clusters = make([]*cluster, len(mm.Clusters))
+	for i, cm := range mm.Clusters {
+		g.clusters[i] = &cluster{
+			rep:   cm.Rep,
+			masks: cm.Masks,
+			size:  cm.Size,
+			gen:   tga.NewLeafGen(cm.Masks, nil),
+		}
 	}
 	g.produced = make([]int, len(g.clusters))
 	g.emitted = ipaddr.NewSet()
 	return nil
+}
+
+// Init clusters the seeds and prepares range enumerators.
+func (g *Generator) Init(seeds []ipaddr.Addr) error {
+	m, err := g.BuildModel(seeds)
+	if err != nil {
+		return err
+	}
+	return g.InitFromModel(m, seeds)
 }
 
 // NextBatch enumerates ranges weighted by cluster size, densest-first.

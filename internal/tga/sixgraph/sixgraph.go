@@ -8,6 +8,7 @@ package sixgraph
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/bits"
 	"sort"
@@ -48,18 +49,45 @@ func (g *Generator) Name() string { return "6Graph" }
 // Online implements tga.Generator. 6Graph is offline.
 func (g *Generator) Online() bool { return false }
 
-// Init builds the entropy tree and merges similar leaves.
-func (g *Generator) Init(seeds []ipaddr.Addr) error {
-	if len(seeds) == 0 {
-		return errors.New("sixgraph: empty seed set")
-	}
+// Model is 6Graph's cacheable mined model: the merged patterns in
+// biggest-first order, without per-run enumerator state.
+type Model struct {
+	Clusters []ClusterModel
+}
+
+// ClusterModel is one merged pattern.
+type ClusterModel struct {
+	Masks [ipaddr.NybbleCount]tga.ValueMask
+	Seeds int
+}
+
+func (g *Generator) minLeaf() int {
 	if g.MinLeaf <= 0 {
-		g.MinLeaf = 4
+		return 4
 	}
+	return g.MinLeaf
+}
+
+func (g *Generator) mergeDistance() int {
 	if g.MergeDistance <= 0 {
-		g.MergeDistance = 2
+		return 2
 	}
-	root := tga.BuildTree(seeds, g.MinLeaf, tga.SplitMinEntropy)
+	return g.MergeDistance
+}
+
+// ModelParams implements tga.ModelBuilder.
+func (g *Generator) ModelParams() string {
+	return fmt.Sprintf("minleaf=%d,mergedist=%d", g.minLeaf(), g.mergeDistance())
+}
+
+// BuildModel implements tga.ModelBuilder: the entropy tree (built across
+// CPUs on large seed sets) with similar leaves merged into patterns.
+func (g *Generator) BuildModel(seeds []ipaddr.Addr) (tga.Model, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("sixgraph: empty seed set")
+	}
+	mergeDist := g.mergeDistance()
+	root := tga.BuildTreeAuto(seeds, g.minLeaf(), tga.SplitMinEntropy)
 	leaves := root.Leaves()
 
 	// Pattern graph: union-find over leaves within MergeDistance.
@@ -90,7 +118,7 @@ func (g *Generator) Init(seeds []ipaddr.Addr) error {
 	for _, idx := range buckets {
 		for x := 0; x < len(idx); x++ {
 			for y := x + 1; y < len(idx); y++ {
-				if maskDistance(leaves[idx[x]].Masks, leaves[idx[y]].Masks) <= g.MergeDistance {
+				if maskDistance(leaves[idx[x]].Masks, leaves[idx[y]].Masks) <= mergeDist {
 					union(idx[x], idx[y])
 				}
 			}
@@ -98,33 +126,59 @@ func (g *Generator) Init(seeds []ipaddr.Addr) error {
 	}
 
 	// Merge components in deterministic (leaf index) order.
-	comp := make(map[int]*cluster)
-	g.clusters = g.clusters[:0]
+	comp := make(map[int]*ClusterModel)
+	var clusters []*ClusterModel
 	for i, l := range leaves {
 		r := find(i)
 		c, ok := comp[r]
 		if !ok {
-			c = &cluster{}
+			c = &ClusterModel{}
 			comp[r] = c
-			g.clusters = append(g.clusters, c)
+			clusters = append(clusters, c)
 		}
 		for p := 0; p < ipaddr.NybbleCount; p++ {
-			c.masks[p] |= l.Masks[p]
+			c.Masks[p] |= l.Masks[p]
 		}
-		c.seeds += len(l.Seeds)
-	}
-	for _, c := range g.clusters {
-		c.gen = tga.NewLeafGen(c.masks, nil)
+		c.Seeds += len(l.Seeds)
 	}
 	// Deterministic order: biggest clusters first.
-	sortClusters(g.clusters)
+	sort.SliceStable(clusters, func(i, j int) bool { return clusters[i].Seeds > clusters[j].Seeds })
+	m := &Model{Clusters: make([]ClusterModel, len(clusters))}
+	for i, c := range clusters {
+		m.Clusters[i] = *c
+	}
+	return m, nil
+}
+
+// InitFromModel implements tga.ModelBuilder: it materializes fresh
+// per-run enumerators over the merged patterns.
+func (g *Generator) InitFromModel(m tga.Model, seeds []ipaddr.Addr) error {
+	mm, ok := m.(*Model)
+	if !ok {
+		return fmt.Errorf("sixgraph: model type %T", m)
+	}
+	g.MinLeaf = g.minLeaf()
+	g.MergeDistance = g.mergeDistance()
+	g.clusters = make([]*cluster, len(mm.Clusters))
+	for i, cm := range mm.Clusters {
+		g.clusters[i] = &cluster{
+			masks: cm.Masks,
+			seeds: cm.Seeds,
+			gen:   tga.NewLeafGen(cm.Masks, nil),
+		}
+	}
 	g.produced = make([]int, len(g.clusters))
 	g.emitted = ipaddr.NewSet()
 	return nil
 }
 
-func sortClusters(cs []*cluster) {
-	sort.SliceStable(cs, func(i, j int) bool { return cs[i].seeds > cs[j].seeds })
+// Init builds the entropy tree and merges similar leaves.
+func (g *Generator) Init(seeds []ipaddr.Addr) error {
+	m, err := g.BuildModel(seeds)
+	if err != nil {
+		return err
+	}
+	return g.InitFromModel(m, seeds)
 }
 
 // maskDistance counts positions where two mask arrays differ.

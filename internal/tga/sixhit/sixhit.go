@@ -8,6 +8,7 @@ package sixhit
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -52,13 +53,36 @@ func (g *Generator) Name() string { return "6Hit" }
 // Online implements tga.Generator.
 func (g *Generator) Online() bool { return true }
 
-// Init builds the initial tree.
-func (g *Generator) Init(seeds []ipaddr.Addr) error {
-	if len(seeds) == 0 {
-		return errors.New("sixhit: empty seed set")
-	}
+func (g *Generator) minLeaf() int {
 	if g.MinLeaf <= 0 {
-		g.MinLeaf = 4
+		return 4
+	}
+	return g.MinLeaf
+}
+
+// ModelParams implements tga.ModelBuilder. Only MinLeaf shapes the initial
+// tree; the bandit knobs (Epsilon, Alpha, RebuildEvery, Seed) steer the
+// online search and are excluded.
+func (g *Generator) ModelParams() string {
+	return fmt.Sprintf("minleaf=%d", g.minLeaf())
+}
+
+// BuildModel implements tga.ModelBuilder: the initial 6Tree-style space
+// tree over the (deduplicated) seeds. Later rebuilds fold hits in and stay
+// per-run.
+func (g *Generator) BuildModel(seeds []ipaddr.Addr) (tga.Model, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("sixhit: empty seed set")
+	}
+	uniq := ipaddr.DedupSorted(seeds)
+	return tga.SnapshotTree(tga.BuildTreeAuto(uniq, g.minLeaf(), tga.SplitLeftmost)), nil
+}
+
+// InitFromModel implements tga.ModelBuilder.
+func (g *Generator) InitFromModel(m tga.Model, seeds []ipaddr.Addr) error {
+	tm, ok := m.(*tga.TreeModel)
+	if !ok {
+		return fmt.Errorf("sixhit: model type %T", m)
 	}
 	if g.Epsilon <= 0 {
 		g.Epsilon = 0.1
@@ -69,19 +93,27 @@ func (g *Generator) Init(seeds []ipaddr.Addr) error {
 	if g.RebuildEvery <= 0 {
 		g.RebuildEvery = 16
 	}
+	g.MinLeaf = g.minLeaf()
 	g.rng = rand.New(rand.NewSource(g.Seed))
 	g.seeds = seeds
 	g.emitted = ipaddr.NewSet()
 	g.pending = make(map[ipaddr.Addr]*tga.TreeNode)
-	g.rebuild()
+	g.adopt(tm.Leaves())
 	return nil
 }
 
-func (g *Generator) rebuild() {
-	pool := ipaddr.NewSet(g.seeds...)
-	pool.AddAll(g.hits)
-	root := tga.BuildTree(pool.Slice(), g.MinLeaf, tga.SplitLeftmost)
-	g.leaves = root.Leaves()
+// Init builds the initial tree.
+func (g *Generator) Init(seeds []ipaddr.Addr) error {
+	m, err := g.BuildModel(seeds)
+	if err != nil {
+		return err
+	}
+	return g.InitFromModel(m, seeds)
+}
+
+// adopt installs a fresh leaf set and resets the bandit state over it.
+func (g *Generator) adopt(leaves []*tga.TreeNode) {
+	g.leaves = leaves
 	g.q = make(map[*tga.TreeNode]float64, len(g.leaves))
 	g.batchN = make(map[*tga.TreeNode]int)
 	g.batchH = make(map[*tga.TreeNode]int)
@@ -89,6 +121,15 @@ func (g *Generator) rebuild() {
 		// Optimistic initialization encourages trying every region once.
 		g.q[l] = 0.5
 	}
+}
+
+func (g *Generator) rebuild() {
+	pool := ipaddr.NewOASetFrom(g.seeds)
+	for _, h := range g.hits {
+		pool.Add(h)
+	}
+	root := tga.BuildTreeAuto(pool.Slice(), g.MinLeaf, tga.SplitLeftmost)
+	g.adopt(root.Leaves())
 }
 
 func (g *Generator) live() []*tga.TreeNode {

@@ -12,6 +12,7 @@ package sixscan
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"seedscan/internal/ipaddr"
@@ -41,22 +42,51 @@ func (g *Generator) Name() string { return "6Scan" }
 // Online implements tga.Generator.
 func (g *Generator) Online() bool { return true }
 
-// Init builds the space tree with 6Tree's splitting order.
-func (g *Generator) Init(seeds []ipaddr.Addr) error {
-	if len(seeds) == 0 {
-		return errors.New("sixscan: empty seed set")
-	}
+func (g *Generator) minLeaf() int {
 	if g.MinLeaf <= 0 {
-		g.MinLeaf = 4
+		return 4
+	}
+	return g.MinLeaf
+}
+
+// ModelParams implements tga.ModelBuilder. TopShare only steers the online
+// allocation and is excluded.
+func (g *Generator) ModelParams() string {
+	return fmt.Sprintf("minleaf=%d", g.minLeaf())
+}
+
+// BuildModel implements tga.ModelBuilder: the 6Tree-style space tree.
+// 6Scan never rebuilds, so the whole tree is cacheable.
+func (g *Generator) BuildModel(seeds []ipaddr.Addr) (tga.Model, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("sixscan: empty seed set")
+	}
+	return tga.SnapshotTree(tga.BuildTreeAuto(seeds, g.minLeaf(), tga.SplitLeftmost)), nil
+}
+
+// InitFromModel implements tga.ModelBuilder.
+func (g *Generator) InitFromModel(m tga.Model, seeds []ipaddr.Addr) error {
+	tm, ok := m.(*tga.TreeModel)
+	if !ok {
+		return fmt.Errorf("sixscan: model type %T", m)
 	}
 	if g.TopShare <= 0 || g.TopShare >= 1 {
 		g.TopShare = 0.7
 	}
-	root := tga.BuildTree(seeds, g.MinLeaf, tga.SplitLeftmost)
-	g.leaves = root.Leaves()
+	g.MinLeaf = g.minLeaf()
+	g.leaves = tm.Leaves()
 	g.pending = make(map[ipaddr.Addr]*tga.TreeNode)
 	g.emitted = ipaddr.NewSet()
 	return nil
+}
+
+// Init builds the space tree with 6Tree's splitting order.
+func (g *Generator) Init(seeds []ipaddr.Addr) error {
+	m, err := g.BuildModel(seeds)
+	if err != nil {
+		return err
+	}
+	return g.InitFromModel(m, seeds)
 }
 
 // NextBatch spends TopShare of the batch on regions sorted by region

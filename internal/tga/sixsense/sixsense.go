@@ -17,6 +17,7 @@ package sixsense
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -130,36 +131,97 @@ func (g *Generator) Name() string { return "6Sense" }
 // Online implements tga.Generator.
 func (g *Generator) Online() bool { return true }
 
-// Init groups seeds into arms and trains the per-arm models.
-func (g *Generator) Init(seeds []ipaddr.Addr) error {
+// Model is 6Sense's cacheable mined model: the seed-trained /32 arms.
+// Runs sharpen their arms online (observe with weight 2 on hits), so
+// InitFromModel deep-copies every arm — the cached Model itself is never
+// written after mining.
+type Model struct {
+	arms []arm
+}
+
+// ArmCount reports the number of trained arms.
+func (m *Model) ArmCount() int { return len(m.arms) }
+
+// ModelParams implements tga.ModelBuilder. The arm granularity and Markov
+// structure are fixed; ASShare and Seed only steer the online search and
+// sampling, so no parameter shapes the mined model.
+func (g *Generator) ModelParams() string { return "" }
+
+// BuildModel implements tga.ModelBuilder: it groups seeds into /32 arms
+// and trains each arm's Markov model over its own seeds. Arms are
+// independent, so training fans out per arm on large seed sets; grouping
+// preserves first-seen arm order and per-arm seed order, so the result is
+// identical to the serial pass for any seed order.
+func (g *Generator) BuildModel(seeds []ipaddr.Addr) (tga.Model, error) {
 	if len(seeds) == 0 {
-		return errors.New("sixsense: empty seed set")
+		return nil, errors.New("sixsense: empty seed set")
+	}
+	keyIdx := make(map[uint64]int)
+	var groups [][]int // seed indices per arm, in seed order
+	for i, s := range seeds {
+		k := s.Hi() >> 32
+		gi, ok := keyIdx[k]
+		if !ok {
+			gi = len(groups)
+			keyIdx[k] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	arms := make([]arm, len(groups))
+	trainOne := func(i int) {
+		first := seeds[groups[i][0]]
+		a := &arms[i]
+		a.prefixHi = first.Hi() >> 32
+		for p := 0; p < prefixNybbles; p++ {
+			a.fixed[p] = first.Nybble(p)
+		}
+		for _, j := range groups[i] {
+			a.observe(seeds[j], 1)
+			a.seeds++
+		}
+	}
+	if len(seeds) >= tga.ParallelMineThreshold {
+		tga.MineParallel(len(groups), trainOne)
+	} else {
+		for i := range groups {
+			trainOne(i)
+		}
+	}
+	return &Model{arms: arms}, nil
+}
+
+// InitFromModel implements tga.ModelBuilder.
+func (g *Generator) InitFromModel(m tga.Model, seeds []ipaddr.Addr) error {
+	mm, ok := m.(*Model)
+	if !ok {
+		return fmt.Errorf("sixsense: model type %T", m)
 	}
 	if g.ASShare <= 0 || g.ASShare >= 1 {
 		g.ASShare = 0.25
 	}
 	g.rng = rand.New(rand.NewSource(g.Seed))
-	g.byHi = make(map[uint64]*arm)
-	g.arms = g.arms[:0]
+	g.byHi = make(map[uint64]*arm, len(mm.arms))
+	g.arms = make([]*arm, len(mm.arms))
 	g.pending = make(map[ipaddr.Addr]*arm)
 	g.emitted = ipaddr.NewSet()
 	g.aliasBlacklist = ipaddr.NewTrie()
-
-	for _, s := range seeds {
-		key := s.Hi() >> 32
-		a, ok := g.byHi[key]
-		if !ok {
-			a = &arm{prefixHi: key}
-			for i := 0; i < prefixNybbles; i++ {
-				a.fixed[i] = s.Nybble(i)
-			}
-			g.byHi[key] = a
-			g.arms = append(g.arms, a)
-		}
-		a.observe(s, 1)
-		a.seeds++
+	g.dry = 0
+	for i := range mm.arms {
+		cp := mm.arms[i] // array-valued fields copy by value
+		g.arms[i] = &cp
+		g.byHi[cp.prefixHi] = &cp
 	}
 	return nil
+}
+
+// Init groups seeds into arms and trains the per-arm models.
+func (g *Generator) Init(seeds []ipaddr.Addr) error {
+	m, err := g.BuildModel(seeds)
+	if err != nil {
+		return err
+	}
+	return g.InitFromModel(m, seeds)
 }
 
 // NextBatch splits the batch between reward-ranked arms and the

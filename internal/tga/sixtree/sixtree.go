@@ -8,6 +8,7 @@ package sixtree
 
 import (
 	"errors"
+	"fmt"
 
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/tga"
@@ -24,7 +25,7 @@ type Generator struct {
 	produced []int
 	// emitted guards against cross-leaf duplicates once leaves widen into
 	// each other's space.
-	emitted *ipaddr.Set
+	emitted *ipaddr.OASet
 	total   int
 }
 
@@ -37,25 +38,53 @@ func (g *Generator) Name() string { return "6Tree" }
 // Online implements tga.Generator. 6Tree generates from the static tree.
 func (g *Generator) Online() bool { return false }
 
-// Init builds the space tree.
-func (g *Generator) Init(seeds []ipaddr.Addr) error {
-	if len(seeds) == 0 {
-		return errors.New("sixtree: empty seed set")
-	}
+func (g *Generator) minLeaf() int {
 	if g.MinLeaf <= 0 {
-		g.MinLeaf = 4
+		return 4
 	}
-	root := tga.BuildTree(seeds, g.MinLeaf, tga.SplitLeftmost)
-	g.leaves = root.Leaves()
+	return g.MinLeaf
+}
+
+// ModelParams implements tga.ModelBuilder.
+func (g *Generator) ModelParams() string {
+	return fmt.Sprintf("minleaf=%d", g.minLeaf())
+}
+
+// BuildModel implements tga.ModelBuilder: it mines the space tree, fanning
+// subtree construction across CPUs on large seed sets.
+func (g *Generator) BuildModel(seeds []ipaddr.Addr) (tga.Model, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("sixtree: empty seed set")
+	}
+	return tga.SnapshotTree(tga.BuildTreeAuto(seeds, g.minLeaf(), tga.SplitLeftmost)), nil
+}
+
+// InitFromModel implements tga.ModelBuilder: it adopts a mined tree and
+// builds fresh run state over it.
+func (g *Generator) InitFromModel(m tga.Model, seeds []ipaddr.Addr) error {
+	tm, ok := m.(*tga.TreeModel)
+	if !ok {
+		return fmt.Errorf("sixtree: model type %T", m)
+	}
+	g.leaves = tm.Leaves()
 	g.weight = make([]float64, len(g.leaves))
 	g.produced = make([]int, len(g.leaves))
-	g.emitted = ipaddr.NewSet()
+	g.emitted = ipaddr.NewOASet(len(seeds))
 	for i, l := range g.leaves {
 		// Density-ordered expansion: regions holding more seeds relative
 		// to their pattern size are searched harder.
 		g.weight[i] = float64(len(l.Seeds))
 	}
 	return nil
+}
+
+// Init builds the space tree.
+func (g *Generator) Init(seeds []ipaddr.Addr) error {
+	m, err := g.BuildModel(seeds)
+	if err != nil {
+		return err
+	}
+	return g.InitFromModel(m, seeds)
 }
 
 // NextBatch allocates n candidates across leaves proportionally to seed

@@ -9,12 +9,22 @@
 // Feedback; online generators (DET, 6Hit, 6Scan, 6Sense) adapt their
 // allocation to probe results, which is also what makes them susceptible
 // to aliased-region traps when seeds are not dealiased.
+//
+// The driver has two execution modes. Online generators run the classic
+// lockstep loop — generate, scan, dealias, feedback — because each batch's
+// proposals depend on the previous batch's probe results. Offline
+// generators run a bounded-depth pipeline: a producer goroutine generates
+// and dedups batches ahead of the scanner, so generation overlaps
+// scanning and dealiasing. Both modes share the same dedup, budget, and
+// idle-round accounting, and produce identical RunResults for offline
+// generators (pinned by tests under -race).
 package tga
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
@@ -40,7 +50,11 @@ type Generator interface {
 	Name() string
 	// Online reports whether the generator adapts to Feedback.
 	Online() bool
-	// Init ingests the seed dataset. It may be called once per run.
+	// Init ingests the seed dataset. It may be called once per run. Seeds
+	// arrive in canonical ascending order and must be treated as
+	// read-only; several algorithms (6Sense's arm creation, 6Gen's greedy
+	// clustering) are order-sensitive, and the canonical order is what
+	// makes runs reproducible and mined models cacheable.
 	Init(seeds []ipaddr.Addr) error
 	// NextBatch proposes up to n candidate addresses. An empty result
 	// means the generator is exhausted.
@@ -83,6 +97,22 @@ type RunConfig struct {
 	// ExcludeSeeds removes seed addresses from the generated set, so the
 	// budget buys genuinely new candidates.
 	ExcludeSeeds bool
+	// Serial forces the lockstep loop even for offline generators.
+	// Online generators always run lockstep regardless.
+	Serial bool
+	// PipelineDepth bounds how many generated batches may queue ahead of
+	// the scanner in the pipelined (offline) mode (default 2). Depth
+	// bounds memory, not correctness.
+	PipelineDepth int
+	// Models resolves mined seed models for generators that implement
+	// ModelBuilder — typically the cross-run modelcache, so grid cells
+	// sharing a seed treatment reuse the model across protocols. Nil:
+	// the generator's own Init mines the model.
+	Models ModelSource
+	// CollectCandidates records every unique candidate in
+	// RunResult.Candidates, in generation order. GenerateContext uses it;
+	// scan-oriented callers leave it off to avoid the copy.
+	CollectCandidates bool
 }
 
 // RunResult aggregates a run's outcome.
@@ -97,10 +127,19 @@ type RunResult struct {
 	AliasedHits []ipaddr.Addr
 	// Exhausted reports whether the generator ran dry before the budget.
 	Exhausted bool
+	// Candidates holds every unique generated address in generation
+	// order, only when RunConfig.CollectCandidates is set.
+	Candidates []ipaddr.Addr
 }
 
 // HitSet returns the hits as a set.
 func (r *RunResult) HitSet() *ipaddr.Set { return ipaddr.NewSet(r.Hits...) }
+
+// maxIdleRounds is how many consecutive batches may propose nothing new
+// before the driver declares the generator exhausted. Generators that loop
+// over already-produced addresses (a converged online model, a small
+// pattern space) would otherwise spin forever.
+const maxIdleRounds = 64
 
 // Run drives g: Init with seeds, then batches of generate→scan→feedback
 // until the budget is reached or the generator is exhausted. It is
@@ -114,10 +153,15 @@ func Run(g Generator, seeds []ipaddr.Addr, cfg RunConfig) (*RunResult, error) {
 // exhausted, or ctx is cancelled. On cancellation the partial result
 // gathered so far is returned together with ctx.Err().
 //
+// Offline generators (Online() == false) run pipelined: generation and
+// dedup proceed on a producer goroutine up to PipelineDepth batches ahead
+// of the scanner. Pass Serial to force lockstep.
+//
 // When ctx carries a telemetry tracer (telemetry.NewContext), the driver
 // emits a span hierarchy — run → batch → generate/scan/dealias/feedback —
 // with per-batch budget consumption, and accumulates tga.* counters in the
-// tracer's registry.
+// tracer's registry. Pipelined runs additionally record tga.pipeline.*
+// stall and backpressure histograms.
 func RunContext(ctx context.Context, g Generator, seeds []ipaddr.Addr, cfg RunConfig) (*RunResult, error) {
 	if cfg.Budget <= 0 {
 		return nil, fmt.Errorf("tga: budget must be positive, got %d", cfg.Budget)
@@ -125,141 +169,314 @@ func RunContext(ctx context.Context, g Generator, seeds []ipaddr.Addr, cfg RunCo
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 4096
 	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 2
+	}
+	pipelined := !cfg.Serial && !g.Online() && cfg.Prober != nil
+	seeds = CanonicalSeeds(seeds)
 	ctx, runSpan := telemetry.StartSpan(ctx, "run", telemetry.Attrs{
 		"generator": g.Name(),
 		"proto":     cfg.Proto.String(),
 		"budget":    cfg.Budget,
 		"batch":     cfg.BatchSize,
 		"seeds":     len(seeds),
+		"pipelined": pipelined,
 	})
-	reg := telemetry.FromContext(ctx).Registry()
-	res := &RunResult{Generator: g.Name(), Proto: cfg.Proto}
-	endRun := func(err error) {
-		runSpan.EndWith(telemetry.Attrs{
-			"generated": res.Generated,
-			"hits":      len(res.Hits),
-			"aliased":   len(res.AliasedHits),
-			"exhausted": res.Exhausted,
-			"cancelled": err != nil,
-		})
+	d := &driver{
+		g:       g,
+		cfg:     cfg,
+		reg:     telemetry.FromContext(ctx).Registry(),
+		runSpan: runSpan,
+		res:     &RunResult{Generator: g.Name(), Proto: cfg.Proto},
 	}
 
-	if err := g.Init(sortedCopy(seeds)); err != nil {
-		endRun(err)
+	if err := d.init(ctx, seeds); err != nil {
+		d.endRun(err)
 		return nil, fmt.Errorf("tga: init %s: %w", g.Name(), err)
 	}
-
-	seedSet := ipaddr.NewSet()
 	if cfg.ExcludeSeeds {
-		seedSet.AddAll(seeds)
+		d.seedSet = ipaddr.NewOASetFrom(seeds)
 	}
-	generated := ipaddr.NewSetCap(cfg.Budget)
+	d.generated = ipaddr.NewOASet(cfg.Budget)
 
-	idleRounds := 0
-	batchIdx := 0
-	for generated.Len() < cfg.Budget {
+	var err error
+	if pipelined {
+		d.reg.Counter("tga.pipeline.runs").Inc()
+		err = d.runPipelined(ctx)
+	} else {
+		err = d.runLockstep(ctx)
+	}
+	d.res.Generated = d.generated.Len()
+	if d.cfg.CollectCandidates {
+		d.res.Candidates = append([]ipaddr.Addr(nil), d.generated.Slice()...)
+	}
+	d.endRun(err)
+	if err != nil {
+		return d.res, err
+	}
+	return d.res, nil
+}
+
+// driver carries one run's state. The lockstep mode uses it from a single
+// goroutine; the pipelined mode hands the generator, dedup sets, and
+// idle/exhaustion accounting to the producer goroutine while the consumer
+// only touches res and the scan path, with the batch channel ordering
+// every cross-goroutine access.
+type driver struct {
+	g       Generator
+	cfg     RunConfig
+	reg     *telemetry.Registry
+	runSpan *telemetry.Span
+	res     *RunResult
+
+	seedSet   *ipaddr.OASet // nil unless ExcludeSeeds
+	generated *ipaddr.OASet
+	idle      int
+	batchIdx  int
+}
+
+// init resolves the generator's model — through the configured
+// ModelSource when the generator supports the ModelBuilder split — and
+// initializes run state.
+func (d *driver) init(ctx context.Context, seeds []ipaddr.Addr) error {
+	initSpan := d.runSpan.Child("init", nil)
+	start := time.Now()
+	var err error
+	if mb, ok := d.g.(ModelBuilder); ok && d.cfg.Models != nil {
+		var m Model
+		m, err = d.cfg.Models.GetOrBuild(ctx, mb, seeds)
+		if err == nil {
+			err = mb.InitFromModel(m, seeds)
+		}
+	} else {
+		err = d.g.Init(seeds)
+	}
+	d.reg.ObserveDuration("tga.init_seconds", time.Since(start).Seconds())
+	initSpan.EndWith(telemetry.Attrs{"cached_model": d.cfg.Models != nil})
+	return err
+}
+
+func (d *driver) endRun(err error) {
+	d.runSpan.EndWith(telemetry.Attrs{
+		"generated": d.res.Generated,
+		"hits":      len(d.res.Hits),
+		"aliased":   len(d.res.AliasedHits),
+		"exhausted": d.res.Exhausted,
+		"cancelled": err != nil,
+	})
+}
+
+// produce asks the generator for one full batch and filters it against the
+// seed set and previously generated addresses, capped at rem. It returns
+// the fresh candidates and whether the driver should keep going: false
+// means the generator is exhausted (res.Exhausted is set) — either it
+// proposed nothing or it spent maxIdleRounds batches proposing only
+// duplicates. The caller owns the parent span for the generate stage.
+//
+// Always requesting a full batch, even when little budget remains,
+// matters: tiny requests starve on seed-or-duplicate candidates (a 1-seed
+// leaf's first enumeration is the seed itself). Extras beyond the budget
+// are discarded.
+func (d *driver) produce(parent *telemetry.Span) (fresh []ipaddr.Addr, cont bool) {
+	genSpan := parent.Child("generate", nil)
+	batch := d.g.NextBatch(d.cfg.BatchSize)
+	rem := d.cfg.Budget - d.generated.Len()
+	fresh = make([]ipaddr.Addr, 0, min(len(batch), rem))
+	for _, a := range batch {
+		if len(fresh) >= rem {
+			break
+		}
+		if d.seedSet != nil && d.seedSet.Contains(a) {
+			continue
+		}
+		if d.generated.Add(a) {
+			fresh = append(fresh, a)
+		}
+	}
+	genSpan.EndWith(telemetry.Attrs{"proposed": len(batch), "fresh": len(fresh)})
+	d.reg.Counter("tga.generated").Add(int64(len(fresh)))
+	if len(batch) == 0 {
+		d.res.Exhausted = true
+		return nil, false
+	}
+	if len(fresh) == 0 {
+		d.idle++
+		if d.idle > maxIdleRounds {
+			d.res.Exhausted = true
+			return nil, false
+		}
+		return nil, true
+	}
+	d.idle = 0
+	return fresh, true
+}
+
+// consume scans one fresh batch, splits the actives, accumulates hits, and
+// feeds results back to online generators. batchSpan is the parent for the
+// stage spans; the caller ends it.
+func (d *driver) consume(ctx context.Context, batchSpan *telemetry.Span, fresh []ipaddr.Addr) (hits, aliased int, err error) {
+	scanSpan := batchSpan.Child("scan", nil)
+	results, err := scanBatch(ctx, d.cfg.Prober, fresh, d.cfg.Proto)
+	var active []ipaddr.Addr
+	for _, r := range results {
+		if r.Active() {
+			active = append(active, r.Addr)
+		}
+	}
+	scanSpan.EndWith(telemetry.Attrs{"targets": len(fresh), "active": len(active)})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	clean, aliasedAddrs := active, []ipaddr.Addr(nil)
+	if d.cfg.Dealiaser != nil {
+		dealiasSpan := batchSpan.Child("dealias", nil)
+		clean, aliasedAddrs = d.cfg.Dealiaser.Split(active)
+		dealiasSpan.EndWith(telemetry.Attrs{"clean": len(clean), "aliased": len(aliasedAddrs)})
+	}
+	d.res.Hits = append(d.res.Hits, clean...)
+	d.res.AliasedHits = append(d.res.AliasedHits, aliasedAddrs...)
+	d.reg.Counter("tga.hits").Add(int64(len(clean)))
+	d.reg.Counter("tga.aliased_hits").Add(int64(len(aliasedAddrs)))
+
+	if d.g.Online() {
+		fbSpan := batchSpan.Child("feedback", nil)
+		aliasSet := ipaddr.NewOASetFrom(aliasedAddrs)
+		fb := make([]ProbeResult, len(results))
+		for i, r := range results {
+			fb[i] = ProbeResult{
+				Addr:    r.Addr,
+				Active:  r.Active(),
+				Aliased: aliasSet.Contains(r.Addr),
+			}
+		}
+		d.g.Feedback(fb)
+		fbSpan.EndWith(telemetry.Attrs{"results": len(fb)})
+	}
+	return len(clean), len(aliasedAddrs), nil
+}
+
+// runLockstep is the classic serial loop: one batch generates, scans,
+// dealiases, and feeds back before the next batch generates. Required for
+// online generators and for generation-only runs.
+func (d *driver) runLockstep(ctx context.Context) error {
+	for d.generated.Len() < d.cfg.Budget {
 		if err := ctx.Err(); err != nil {
-			res.Generated = generated.Len()
-			endRun(err)
-			return res, err
+			return err
 		}
-		batchSpan := runSpan.Child("batch", telemetry.Attrs{"index": batchIdx})
-		batchIdx++
-		reg.Counter("tga.batches").Inc()
+		batchSpan := d.runSpan.Child("batch", telemetry.Attrs{"index": d.batchIdx})
+		d.batchIdx++
+		d.reg.Counter("tga.batches").Inc()
 
-		// Always request a full batch, even when little budget remains:
-		// tiny requests starve on seed-or-duplicate candidates (a 1-seed
-		// leaf's first enumeration is the seed itself). Extras beyond the
-		// budget are discarded.
-		genSpan := batchSpan.Child("generate", nil)
-		batch := g.NextBatch(cfg.BatchSize)
-		rem := cfg.Budget - generated.Len()
-		fresh := make([]ipaddr.Addr, 0, len(batch))
-		for _, a := range batch {
-			if len(fresh) >= rem {
-				break
-			}
-			if cfg.ExcludeSeeds && seedSet.Contains(a) {
-				continue
-			}
-			if generated.Add(a) {
-				fresh = append(fresh, a)
-			}
-		}
-		genSpan.EndWith(telemetry.Attrs{"proposed": len(batch), "fresh": len(fresh)})
-		reg.Counter("tga.generated").Add(int64(len(fresh)))
-
-		if len(batch) == 0 {
-			res.Exhausted = true
-			batchSpan.EndWith(telemetry.Attrs{"budget_used": generated.Len(), "exhausted": true})
+		fresh, cont := d.produce(batchSpan)
+		if !cont {
+			batchSpan.EndWith(telemetry.Attrs{"budget_used": d.generated.Len(), "exhausted": true})
 			break
 		}
 		if len(fresh) == 0 {
-			// The generator is looping over already-produced addresses.
-			idleRounds++
-			batchSpan.EndWith(telemetry.Attrs{"budget_used": generated.Len(), "idle": true})
-			if idleRounds > 64 {
-				res.Exhausted = true
-				break
-			}
+			batchSpan.EndWith(telemetry.Attrs{"budget_used": d.generated.Len(), "idle": true})
 			continue
 		}
-		idleRounds = 0
-
-		if cfg.Prober == nil {
-			batchSpan.EndWith(telemetry.Attrs{"budget_used": generated.Len()})
+		if d.cfg.Prober == nil {
+			batchSpan.EndWith(telemetry.Attrs{"budget_used": d.generated.Len()})
 			continue
 		}
-		scanSpan := batchSpan.Child("scan", nil)
-		results, err := scanBatch(ctx, cfg.Prober, fresh, cfg.Proto)
-		var active []ipaddr.Addr
-		for _, r := range results {
-			if r.Active() {
-				active = append(active, r.Addr)
-			}
-		}
-		scanSpan.EndWith(telemetry.Attrs{"targets": len(fresh), "active": len(active)})
+		hits, aliased, err := d.consume(ctx, batchSpan, fresh)
 		if err != nil {
-			batchSpan.EndWith(telemetry.Attrs{"budget_used": generated.Len(), "cancelled": true})
-			res.Generated = generated.Len()
-			endRun(err)
-			return res, err
-		}
-
-		clean, aliased := active, []ipaddr.Addr(nil)
-		if cfg.Dealiaser != nil {
-			dealiasSpan := batchSpan.Child("dealias", nil)
-			clean, aliased = cfg.Dealiaser.Split(active)
-			dealiasSpan.EndWith(telemetry.Attrs{"clean": len(clean), "aliased": len(aliased)})
-		}
-		res.Hits = append(res.Hits, clean...)
-		res.AliasedHits = append(res.AliasedHits, aliased...)
-		reg.Counter("tga.hits").Add(int64(len(clean)))
-		reg.Counter("tga.aliased_hits").Add(int64(len(aliased)))
-
-		if g.Online() {
-			fbSpan := batchSpan.Child("feedback", nil)
-			aliasSet := ipaddr.NewSet(aliased...)
-			fb := make([]ProbeResult, len(results))
-			for i, r := range results {
-				fb[i] = ProbeResult{
-					Addr:    r.Addr,
-					Active:  r.Active(),
-					Aliased: aliasSet.Contains(r.Addr),
-				}
-			}
-			g.Feedback(fb)
-			fbSpan.EndWith(telemetry.Attrs{"results": len(fb)})
+			batchSpan.EndWith(telemetry.Attrs{"budget_used": d.generated.Len(), "cancelled": true})
+			return err
 		}
 		batchSpan.EndWith(telemetry.Attrs{
-			"budget_used": generated.Len(),
-			"hits":        len(clean),
-			"aliased":     len(aliased),
+			"budget_used": d.generated.Len(),
+			"hits":        hits,
+			"aliased":     aliased,
 		})
 	}
-	res.Generated = generated.Len()
-	endRun(nil)
-	return res, nil
+	return nil
+}
+
+// producedBatch is one unit of pipelined work: the deduped fresh
+// candidates and their batch span, opened by the producer (who closed its
+// generate child) and ended by the consumer after scan/dealias.
+type producedBatch struct {
+	fresh []ipaddr.Addr
+	span  *telemetry.Span
+}
+
+// runPipelined overlaps generation with scanning for offline generators.
+// The producer goroutine owns the generator and all dedup/idle/exhaustion
+// state; the consumer owns the result. The bounded channel is the only
+// rendezvous: sends happen-before receives, and the consumer only reads
+// producer-owned state after the producer is done (channel closed and,
+// on early exit, drained).
+//
+// Offline generators ignore Feedback, so running generation ahead of the
+// scan cannot change what is generated — the pipelined run produces
+// exactly the lockstep run's result.
+func (d *driver) runPipelined(ctx context.Context) error {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan producedBatch, d.cfg.PipelineDepth)
+
+	go func() {
+		defer close(ch)
+		for d.generated.Len() < d.cfg.Budget {
+			if pctx.Err() != nil {
+				return
+			}
+			batchSpan := d.runSpan.Child("batch", telemetry.Attrs{"index": d.batchIdx})
+			d.batchIdx++
+			d.reg.Counter("tga.batches").Inc()
+			d.reg.Counter("tga.pipeline.batches").Inc()
+
+			fresh, cont := d.produce(batchSpan)
+			if !cont {
+				batchSpan.EndWith(telemetry.Attrs{"budget_used": d.generated.Len(), "exhausted": true})
+				return
+			}
+			if len(fresh) == 0 {
+				batchSpan.EndWith(telemetry.Attrs{"budget_used": d.generated.Len(), "idle": true})
+				continue
+			}
+			// Blocked send = the scanner is the bottleneck (backpressure).
+			wait := time.Now()
+			select {
+			case ch <- producedBatch{fresh: fresh, span: batchSpan}:
+				d.reg.ObserveDuration("tga.pipeline.backpressure_seconds", time.Since(wait).Seconds())
+			case <-pctx.Done():
+				batchSpan.EndWith(telemetry.Attrs{"budget_used": d.generated.Len(), "cancelled": true})
+				return
+			}
+		}
+	}()
+
+	fail := func(err error) error {
+		cancel()
+		for b := range ch { // release the producer, then drain
+			b.span.EndWith(telemetry.Attrs{"cancelled": true})
+		}
+		return err
+	}
+	for {
+		// Blocked receive = generation is the bottleneck (producer stall).
+		wait := time.Now()
+		b, ok := <-ch
+		if !ok {
+			break
+		}
+		d.reg.ObserveDuration("tga.pipeline.producer_stall_seconds", time.Since(wait).Seconds())
+		if err := ctx.Err(); err != nil {
+			b.span.EndWith(telemetry.Attrs{"cancelled": true})
+			return fail(err)
+		}
+		hits, aliased, err := d.consume(ctx, b.span, b.fresh)
+		if err != nil {
+			b.span.EndWith(telemetry.Attrs{"cancelled": true})
+			return fail(err)
+		}
+		b.span.EndWith(telemetry.Attrs{"hits": hits, "aliased": aliased})
+	}
+	return ctx.Err()
 }
 
 // scanBatch routes one batch through the prober, using the cancellable
@@ -271,55 +488,51 @@ func scanBatch(ctx context.Context, p Prober, targets []ipaddr.Addr, pr proto.Pr
 	return p.Scan(targets, pr), nil
 }
 
-// sortedCopy hands generators their seeds in a canonical order. Several
-// algorithms are seed-order-sensitive (6Sense's arm creation, 6Gen's
-// greedy clustering), and callers often produce seed slices from map-
-// backed sets whose order varies run to run; sorting here keeps every
-// run reproducible without burdening generators.
-func sortedCopy(seeds []ipaddr.Addr) []ipaddr.Addr {
+// CanonicalSeeds returns seeds in the canonical ascending order every
+// Generator.Init expects. Already-sorted input (the common case now that
+// experiment treatments sort once) is returned as-is, without copying;
+// otherwise a sorted copy is made so the caller's slice is untouched.
+func CanonicalSeeds(seeds []ipaddr.Addr) []ipaddr.Addr {
+	if sort.SliceIsSorted(seeds, func(i, j int) bool { return seeds[i].Less(seeds[j]) }) {
+		return seeds
+	}
 	out := append([]ipaddr.Addr(nil), seeds...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
-// generateBatch is the request granularity Generate uses regardless of
-// remaining budget, mirroring RunContext's batching (see below).
-const generateBatch = 4096
-
 // Generate runs g without scanning and returns up to budget unique
-// candidates — useful for offline analysis and tests.
-//
-// Like RunContext, it always requests a full batch even when little
-// budget remains: tiny requests starve on seed-or-duplicate candidates
-// (a 1-seed leaf's first enumeration is the seed itself), which used to
-// make Generate falsely report exhaustion near the budget. Extras beyond
-// the budget are discarded.
+// candidates in generation order — useful for offline analysis and tests.
+// It is GenerateContext with a background context and no exclusions.
 func Generate(g Generator, seeds []ipaddr.Addr, budget int) ([]ipaddr.Addr, error) {
-	if err := g.Init(sortedCopy(seeds)); err != nil {
+	return GenerateContext(context.Background(), g, seeds, GenerateConfig{Budget: budget})
+}
+
+// GenerateConfig parameterizes a generation-only run.
+type GenerateConfig struct {
+	// Budget is the number of unique candidates to generate.
+	Budget int
+	// BatchSize is the request granularity (default 4096).
+	BatchSize int
+	// ExcludeSeeds removes seed addresses from the output.
+	ExcludeSeeds bool
+	// Models resolves mined models, as in RunConfig.
+	Models ModelSource
+}
+
+// GenerateContext runs g without scanning under ctx, sharing the driver's
+// batch loop — the same full-batch requests, dedup, idle-round exhaustion,
+// and optional seed exclusion as RunContext, minus the prober.
+func GenerateContext(ctx context.Context, g Generator, seeds []ipaddr.Addr, cfg GenerateConfig) ([]ipaddr.Addr, error) {
+	res, err := RunContext(ctx, g, seeds, RunConfig{
+		Budget:            cfg.Budget,
+		BatchSize:         cfg.BatchSize,
+		ExcludeSeeds:      cfg.ExcludeSeeds,
+		Models:            cfg.Models,
+		CollectCandidates: true,
+	})
+	if err != nil {
 		return nil, err
 	}
-	out := ipaddr.NewSetCap(budget)
-	idle := 0
-	for out.Len() < budget {
-		batch := g.NextBatch(generateBatch)
-		if len(batch) == 0 {
-			break
-		}
-		before := out.Len()
-		for _, a := range batch {
-			if out.Len() >= budget {
-				break
-			}
-			out.Add(a)
-		}
-		if out.Len() == before {
-			idle++
-			if idle > 64 {
-				break
-			}
-		} else {
-			idle = 0
-		}
-	}
-	return out.Slice(), nil
+	return res.Candidates, nil
 }

@@ -3,6 +3,7 @@ package tga
 import (
 	"math/bits"
 	"sort"
+	"sync"
 
 	"seedscan/internal/ipaddr"
 )
@@ -82,6 +83,113 @@ func BuildTree(seeds []ipaddr.Addr, minLeaf int, h SplitHeuristic) *TreeNode {
 	root := &TreeNode{Seeds: seeds}
 	build(root, minLeaf, h, 0)
 	return root
+}
+
+// BuildTreeAuto is BuildTree with the construction strategy picked by seed
+// count: at or above ParallelMineThreshold subtrees are built across CPUs,
+// below it serially. Both strategies produce the same tree, so callers
+// (including the online TGAs' periodic rebuilds) can use it everywhere.
+func BuildTreeAuto(seeds []ipaddr.Addr, minLeaf int, h SplitHeuristic) *TreeNode {
+	if len(seeds) >= ParallelMineThreshold {
+		return BuildTreeParallel(seeds, minLeaf, h)
+	}
+	return BuildTree(seeds, minLeaf, h)
+}
+
+// BuildTreeParallel builds the same tree as BuildTree with sibling
+// subtrees constructed concurrently. Subtrees over disjoint seed groups
+// never interact, and children are assembled into their value-sorted slots
+// before workers descend, so the result is byte-for-byte the serial tree.
+func BuildTreeParallel(seeds []ipaddr.Addr, minLeaf int, h SplitHeuristic) *TreeNode {
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	root := &TreeNode{Seeds: seeds}
+	// Tokens bound concurrency; a worker that cannot claim one recurses
+	// inline, so construction never blocks on the semaphore.
+	tokens := make(chan struct{}, MineWorkers())
+	var wg sync.WaitGroup
+	buildP(root, minLeaf, h, 0, tokens, &wg)
+	wg.Wait()
+	return root
+}
+
+// buildP is build with concurrent child descent.
+func buildP(n *TreeNode, minLeaf int, h SplitHeuristic, depth int, tokens chan struct{}, wg *sync.WaitGroup) {
+	groups, pos := splitGroups(n, minLeaf, h, depth)
+	if groups == nil {
+		return // made a leaf
+	}
+	n.SplitPos = pos
+	for _, g := range groups {
+		child := &TreeNode{Seeds: g}
+		n.Children = append(n.Children, child)
+	}
+	for _, child := range n.Children {
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func(c *TreeNode) {
+				defer wg.Done()
+				buildP(c, minLeaf, h, depth+1, tokens, wg)
+				<-tokens
+			}(child)
+		default:
+			buildP(child, minLeaf, h, depth+1, tokens, wg)
+		}
+	}
+}
+
+// splitGroups decides whether n splits and, if so, returns the child seed
+// groups in ascending split-value order and the split position. A nil
+// return means n was finalized as a leaf. Shared by the serial and
+// parallel builders so they cannot diverge.
+func splitGroups(n *TreeNode, minLeaf int, h SplitHeuristic, depth int) ([][]ipaddr.Addr, int) {
+	masks := ObservedMasks(n.Seeds)
+	var prefixCandidates []int
+	for i := 0; i < prefixPositions; i++ {
+		if bits.OnesCount16(masks[i]) > 1 {
+			prefixCandidates = append(prefixCandidates, i)
+		}
+	}
+	if len(prefixCandidates) == 0 && (len(n.Seeds) <= minLeaf || depth >= ipaddr.NybbleCount) {
+		makeLeaf(n, masks)
+		return nil, -1
+	}
+	var candidates []int
+	if len(prefixCandidates) > 0 {
+		candidates = prefixCandidates
+	} else {
+		for i, m := range masks {
+			if bits.OnesCount16(m) > 1 {
+				candidates = append(candidates, i)
+			}
+		}
+	}
+	pos := h(n.Seeds, candidates)
+	if pos < 0 {
+		makeLeaf(n, masks)
+		return nil, -1
+	}
+	groups := make(map[byte][]ipaddr.Addr)
+	for _, a := range n.Seeds {
+		v := a.Nybble(pos)
+		groups[v] = append(groups[v], a)
+	}
+	if len(groups) <= 1 {
+		makeLeaf(n, masks)
+		return nil, -1
+	}
+	vals := make([]int, 0, len(groups))
+	for v := range groups {
+		vals = append(vals, int(v))
+	}
+	sort.Ints(vals)
+	ordered := make([][]ipaddr.Addr, 0, len(vals))
+	for _, v := range vals {
+		ordered = append(ordered, groups[byte(v)])
+	}
+	return ordered, pos
 }
 
 // prefixPositions is how many leading nybbles are always fully split:
