@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scanner bench-cluster bench-tga cover experiments clean
+.PHONY: all build vet test race bench bench-scanner bench-cluster bench-tga bench-grid cover experiments clean
 
 all: vet build test
 
@@ -41,6 +41,14 @@ bench-cluster:
 bench-tga:
 	$(GO) test -run '^TestWriteTGABenchBaseline$$' -count=1 -v \
 		-tga-bench-out BENCH_tga.json .
+
+# Regenerate the committed grid engine baseline: the ICMP evaluation
+# suite executed per-RQ (no dedup) vs through the shared cell-grid
+# engine, plus a warm-store resume pass. Fails if cross-spec dedup falls
+# below 1.3x the per-RQ drivers.
+bench-grid:
+	$(GO) test -run '^TestWriteGridBenchBaseline$$' -count=1 -v \
+		-grid-bench-out BENCH_grid.json .
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -1,0 +1,258 @@
+// Cell-grid engine benchmarks and the BENCH_grid.json baseline writer.
+//
+// Before the grid engine, every RQ harness drove its own cells directly:
+// RQ1.b, RQ2, and RQ4 each re-scanned the All Active × generator cells,
+// and nothing survived the process. The engine plans all specs over one
+// content-addressed cell space, so shared cells execute exactly once and
+// every finished cell is checkpointed. The bench measures exactly that
+// workload — the ICMP evaluation suite (RQ1.a, RQ1.b, RQ2, Table 4, RQ4)
+// over the offline generators — executed per-RQ with no dedup versus
+// through the shared engine, plus a warm-store resume pass.
+//
+// `make bench-grid` regenerates BENCH_grid.json from these measurements;
+// see README.md for the format.
+package seedscan
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"seedscan/internal/experiment"
+	"seedscan/internal/experiment/grid"
+	"seedscan/internal/proto"
+	"seedscan/internal/telemetry"
+)
+
+// gridBenchGens mirrors the TGA bench: the offline generators, whose
+// model mining and candidate generation dominate cell cost.
+var gridBenchGens = []string{"EIP", "6Gen", "6Tree", "6Graph"}
+
+// gridBenchSpecs is the ICMP evaluation suite. Per generator it plans 11
+// cells of which 7 are unique — joint-dealiased is shared by RQ1.a,
+// RQ1.b, and Table 4; All Active by RQ1.b, RQ2, and RQ4 — so perfect
+// dedup bounds the speedup at 11/7 ≈ 1.57x.
+func gridBenchSpecs(env *experiment.Env, gens []string, budget int) []grid.Spec {
+	protos := []proto.Protocol{proto.ICMP}
+	return []grid.Spec{
+		env.SpecRQ1a(protos, gens, budget),
+		env.SpecRQ1b(protos, gens, budget),
+		env.SpecRQ2(protos, gens, budget),
+		env.SpecTable4(gens, budget),
+		env.SpecRQ4(protos, gens, budget),
+	}
+}
+
+func gridBenchEnv(cfg experiment.EnvConfig) *experiment.Env {
+	return experiment.NewEnv(cfg)
+}
+
+// runSpecsPerRQ executes every spec the way the pre-engine harnesses
+// did: each spec fans its own cells out over the worker pool and runs
+// them all, shared or not. Returns wall time and total hits across all
+// planned cells (the cross-mode sanity metric).
+func runSpecsPerRQ(tb testing.TB, env *experiment.Env, specs []grid.Spec) (time.Duration, int) {
+	tb.Helper()
+	hits := 0
+	start := time.Now()
+	for _, s := range specs {
+		cells := s.Cells
+		results := make([]grid.CellResult, len(cells))
+		err := grid.RunParallel(context.Background(), env.Workers(), len(cells),
+			func(ctx context.Context, i int) error {
+				r, err := env.RunCell(ctx, cells[i])
+				if err != nil {
+					return err
+				}
+				results[i] = r
+				return nil
+			})
+		if err != nil {
+			tb.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, r := range results {
+			hits += r.Outcome.Hits
+		}
+	}
+	return time.Since(start), hits
+}
+
+// runSpecsEngine executes the same specs through the env's shared grid
+// engine, which dedups cells across specs and checkpoints each result
+// into the env's store.
+func runSpecsEngine(tb testing.TB, env *experiment.Env, specs []grid.Spec) (time.Duration, int) {
+	tb.Helper()
+	hits := 0
+	start := time.Now()
+	for _, s := range specs {
+		rs, err := env.Grid().Run(context.Background(), s)
+		if err != nil {
+			tb.Fatalf("%s: %v", s.Name, err)
+		}
+		for _, c := range s.Cells {
+			hits += rs.Of(c).Outcome.Hits
+		}
+	}
+	return time.Since(start), hits
+}
+
+// TestGridBenchSmoke is the always-on CI shape of the bench: a tiny
+// suite in every mode, asserting only that per-RQ execution, the dedup
+// engine, and a warm-store resume all report identical hit totals — no
+// timing gate, so it cannot flake on loaded runners.
+func TestGridBenchSmoke(t *testing.T) {
+	cfg := experiment.EnvConfig{NumASes: 80, CollectScale: 0.25, Budget: 800}
+	gens := []string{"6Tree", "EIP"}
+
+	perRQEnv := gridBenchEnv(cfg)
+	_, perRQHits := runSpecsPerRQ(t, perRQEnv, gridBenchSpecs(perRQEnv, gens, 800))
+
+	store := grid.NewMemStore()
+	ecfg := cfg
+	ecfg.GridStore = store
+	engEnv := gridBenchEnv(ecfg)
+	_, engHits := runSpecsEngine(t, engEnv, gridBenchSpecs(engEnv, gens, 800))
+	if perRQHits != engHits {
+		t.Fatalf("hit totals diverge: per-RQ %d, engine %d", perRQHits, engHits)
+	}
+
+	// A fresh env over the populated store must replay every cell.
+	resEnv := gridBenchEnv(ecfg)
+	_, resHits := runSpecsEngine(t, resEnv, gridBenchSpecs(resEnv, gens, 800))
+	if resHits != engHits {
+		t.Fatalf("hit totals diverge: engine %d, warm resume %d", engHits, resHits)
+	}
+}
+
+// BenchmarkGridSuite reports wall time per evaluation suite for both
+// execution modes. Each iteration builds a fresh env: the engine
+// memoizes completed cells for the life of the env, so reusing one
+// would measure a no-op.
+func BenchmarkGridSuite(b *testing.B) {
+	cfg := experiment.EnvConfig{NumASes: 100, CollectScale: 0.3, Budget: 2000}
+	gens := []string{"6Tree", "EIP"}
+	b.Run("per-rq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			env := gridBenchEnv(cfg)
+			runSpecsPerRQ(b, env, gridBenchSpecs(env, gens, 2000))
+		}
+	})
+	b.Run("engine-dedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			env := gridBenchEnv(cfg)
+			runSpecsEngine(b, env, gridBenchSpecs(env, gens, 2000))
+		}
+	})
+}
+
+// --- BENCH_grid.json baseline writer ---
+
+var gridBenchOut = flag.String("grid-bench-out", "",
+	"write the grid engine baseline JSON to this path (see make bench-grid)")
+
+// gridBenchBaseline is the BENCH_grid.json schema; the suite speedup is
+// the acceptance metric.
+type gridBenchBaseline struct {
+	Schema            string   `json:"schema"`
+	GoVersion         string   `json:"go_version"`
+	CPUs              int      `json:"cpus"`
+	Generators        []string `json:"generators"`
+	Specs             []string `json:"specs"`
+	BudgetPerCell     int      `json:"budget_per_cell"`
+	PlannedCells      int      `json:"planned_cells"`
+	UniqueCells       int      `json:"unique_cells"`
+	PerRQSeconds      float64  `json:"per_rq_seconds"`
+	EngineSeconds     float64  `json:"engine_dedup_seconds"`
+	WarmResumeSeconds float64  `json:"warm_resume_seconds"`
+	Speedup           float64  `json:"speedup"`
+	HitsPerSuite      int      `json:"hits_per_suite"`
+}
+
+// TestWriteGridBenchBaseline regenerates BENCH_grid.json when run with
+// -grid-bench-out (wired to `make bench-grid`); otherwise it is skipped.
+// It measures the ICMP evaluation suite executed per-RQ (every spec runs
+// all of its own cells, as the pre-engine harnesses did) versus through
+// the shared dedup engine, then times a warm-store resume of the whole
+// suite in a fresh env. One pass per mode — the workload is virtual-time
+// deterministic, and the engine memoizes cells for the life of an env,
+// so a second engine pass would not be the same workload. Fails below a
+// 1.3x dedup speedup.
+func TestWriteGridBenchBaseline(t *testing.T) {
+	if *gridBenchOut == "" {
+		t.Skip("pass -grid-bench-out to regenerate BENCH_grid.json")
+	}
+	cfg := experiment.EnvConfig{NumASes: 150, CollectScale: 0.4, Budget: 6000}
+	const budget = 6000
+
+	// Per-RQ pass: its own env, so it builds (and pays for) its own
+	// treatment caches exactly as the engine env does.
+	perRQEnv := gridBenchEnv(cfg)
+	perRQSpecs := gridBenchSpecs(perRQEnv, gridBenchGens, budget)
+	perRQDur, perRQHits := runSpecsPerRQ(t, perRQEnv, perRQSpecs)
+
+	// Engine pass: same config, shared engine, checkpointing into a
+	// store (the Put cost is part of the measured path).
+	store := grid.NewMemStore()
+	tr := telemetry.NewTracer(nil)
+	ecfg := cfg
+	ecfg.GridStore = store
+	ecfg.Telemetry = tr
+	engEnv := gridBenchEnv(ecfg)
+	engSpecs := gridBenchSpecs(engEnv, gridBenchGens, budget)
+	engDur, engHits := runSpecsEngine(t, engEnv, engSpecs)
+	if perRQHits != engHits {
+		t.Fatalf("hit totals diverge: per-RQ %d, engine %d", perRQHits, engHits)
+	}
+	snap := tr.Registry().Snapshot()
+	planned := int(snap.Counters["grid.cells.planned"])
+	unique := int(snap.Counters["grid.cells.run"])
+
+	// Warm resume: a fresh env (fresh process, same store) replays the
+	// whole suite from checkpoints without scanning.
+	resEnv := gridBenchEnv(ecfg)
+	resStart := time.Now()
+	_, resHits := runSpecsEngine(t, resEnv, gridBenchSpecs(resEnv, gridBenchGens, budget))
+	resDur := time.Since(resStart)
+	if resHits != engHits {
+		t.Fatalf("hit totals diverge: engine %d, warm resume %d", engHits, resHits)
+	}
+
+	specNames := make([]string, len(engSpecs))
+	for i, s := range engSpecs {
+		specNames[i] = s.Name
+	}
+	out := gridBenchBaseline{
+		Schema:            "seedscan-bench-grid/v1",
+		GoVersion:         runtime.Version(),
+		CPUs:              runtime.NumCPU(),
+		Generators:        gridBenchGens,
+		Specs:             specNames,
+		BudgetPerCell:     budget,
+		PlannedCells:      planned,
+		UniqueCells:       unique,
+		PerRQSeconds:      perRQDur.Seconds(),
+		EngineSeconds:     engDur.Seconds(),
+		WarmResumeSeconds: resDur.Seconds(),
+		Speedup:           perRQDur.Seconds() / engDur.Seconds(),
+		HitsPerSuite:      perRQHits,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*gridBenchOut, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s: per-RQ %.2fs, engine %.2fs (%d/%d cells), resume %.3fs, speedup %.2fx\n",
+		*gridBenchOut, out.PerRQSeconds, out.EngineSeconds, unique, planned,
+		out.WarmResumeSeconds, out.Speedup)
+	if out.Speedup < 1.3 {
+		t.Errorf("suite speedup %.2fx below the 1.3x acceptance floor", out.Speedup)
+	}
+}

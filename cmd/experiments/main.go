@@ -5,11 +5,15 @@
 // Usage:
 //
 //	experiments [-budget N] [-ases N] [-scale F] [-seed N] [-run LIST]
+//	            [-only LIST] [-resume DIR] [-list-cells]
 //
 // where LIST is a comma-separated subset of:
 // table1,table3,table4,table5,table6,fig1,fig2,fig3,fig4,fig5,fig6,fig7,
 // raw,rq5,raw912,ablation (default: all except raw912 and ablation, which
-// run only when named).
+// run only when named). -only is -run under its grid-era name and takes
+// precedence. -resume DIR checkpoints every completed grid cell to
+// DIR/cells.jsonl and resumes from it on restart; -list-cells prints the
+// deduplicated cell plan for the selection and exits without scanning.
 package main
 
 import (
@@ -18,10 +22,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"seedscan/internal/experiment"
+	"seedscan/internal/experiment/grid"
 	"seedscan/internal/proto"
 	"seedscan/internal/seeds"
 	"seedscan/internal/telemetry"
@@ -38,8 +44,14 @@ func main() {
 	trace := flag.String("trace", "", "write a JSONL telemetry event log to this file")
 	metrics := flag.Bool("metrics", false, "print final metric values on exit")
 	clusterWorkers := flag.Int("cluster-workers", 0, "fan scanning out across N in-process cluster workers (results unchanged)")
+	only := flag.String("only", "", "comma-separated specs to run (overrides -run)")
+	resumeDir := flag.String("resume", "", "checkpoint completed grid cells under this directory and resume from them")
+	listCells := flag.Bool("list-cells", false, "print the deduplicated cell plan for the selection and exit")
 	flag.Parse()
 
+	if *only != "" {
+		*runList = *only
+	}
 	want := map[string]bool{}
 	for _, r := range strings.Split(*runList, ",") {
 		want[strings.TrimSpace(r)] = true
@@ -81,17 +93,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var store grid.Store
+	if *resumeDir != "" {
+		check(os.MkdirAll(*resumeDir, 0o755))
+		js, err := grid.OpenJSONL(filepath.Join(*resumeDir, "cells.jsonl"))
+		check(err)
+		defer js.Close()
+		store = js
+	}
+
 	env := experiment.NewEnv(experiment.EnvConfig{
 		WorldSeed: *seed, NumASes: *ases, CollectScale: *scale, Budget: *budget,
-		Telemetry: tr, ClusterWorkers: *clusterWorkers,
+		Telemetry: tr, ClusterWorkers: *clusterWorkers, GridStore: store,
 	})
+
+	gens := all.Names
+	if *listCells {
+		printCellPlan(env, sel, protos, gens, *budget, store)
+		return
+	}
 	fmt.Printf("world: %d regions, %d ASes, %d ground-truth aliased prefixes (%d listed offline)\n",
 		len(env.World.Regions()), env.World.ASDB().Len(),
 		len(env.World.AliasedPrefixes()), env.Offline.Len())
 	fmt.Printf("seeds: %s unique across %d sources\n\n",
 		comma(env.Full.Len()), len(env.Sources))
-
-	gens := all.Names
 
 	if sel("table1") {
 		fmt.Println(experiment.RenderPriorWork())
@@ -204,6 +229,83 @@ func main() {
 	if *metrics {
 		fmt.Print(tr.Registry().Snapshot().Render())
 	}
+}
+
+// selectedSpecs compiles the selected experiments into their grid specs,
+// mirroring the budgets the run loop uses (RQ3 and Figure 7 run at a
+// quarter budget; RQ5's evidence runs are single-protocol).
+func selectedSpecs(env *experiment.Env, sel func(string) bool,
+	protos []proto.Protocol, gens []string, budget int) []grid.Spec {
+	var specs []grid.Spec
+	if sel("fig3") {
+		specs = append(specs, env.SpecRQ1a(protos, gens, budget))
+	}
+	if sel("table4") {
+		specs = append(specs, env.SpecTable4(gens, budget))
+	}
+	if sel("fig4") {
+		specs = append(specs, env.SpecRQ1b(protos, gens, budget))
+	}
+	if sel("fig5") {
+		specs = append(specs, env.SpecRQ2(protos, gens, budget))
+	}
+	if sel("table5") || sel("table6") || sel("raw") {
+		specs = append(specs, env.SpecRQ3(protos, gens, nil, budget/4))
+	}
+	if sel("table5") {
+		specs = append(specs, env.SpecTable5(gens, len(seeds.AllSources), budget/4))
+	}
+	if sel("fig6") {
+		specs = append(specs, env.SpecRQ4(protos, gens, budget))
+	}
+	if sel("fig7") {
+		specs = append(specs, env.SpecCrossPort(gens, budget/4))
+	}
+	if sel("rq5") {
+		icmp := []proto.Protocol{proto.ICMP}
+		specs = append(specs,
+			env.SpecRQ1a(icmp, gens, budget),
+			env.SpecRQ1b(icmp, gens, budget),
+			env.SpecRQ2([]proto.Protocol{proto.TCP443}, gens, budget),
+			env.SpecRQ4(icmp, gens, budget))
+	}
+	if sel("raw912") {
+		specs = append(specs, env.SpecRawGrid(protos, gens, nil, budget))
+	}
+	if sel("ablation") {
+		specs = append(specs, env.SpecBatchAblation("DET", proto.ICMP, budget, []int{256, 1024, 4096, budget}))
+	}
+	return specs
+}
+
+// printCellPlan renders the deduplicated worklist the selection would
+// execute: one line per unique cell with the specs that request it, plus
+// how many are already checkpointed in the resume store.
+func printCellPlan(env *experiment.Env, sel func(string) bool,
+	protos []proto.Protocol, gens []string, budget int, store grid.Store) {
+	specs := selectedSpecs(env, sel, protos, gens, budget)
+	plan := grid.Plan(specs...)
+	planned := 0
+	for _, s := range specs {
+		planned += len(s.Cells)
+	}
+	fp := env.Fingerprint()
+	resumed := 0
+	for _, pc := range plan {
+		marker := " "
+		if store != nil {
+			if _, ok := store.Get(pc.Cell.Key(fp)); ok {
+				marker = "*"
+				resumed++
+			}
+		}
+		fmt.Printf("%s %-52s <- %s\n", marker, pc.Cell.ID(), strings.Join(pc.Specs, ", "))
+	}
+	fmt.Printf("\n%d cells planned across %d specs, %d unique after dedup", planned, len(specs), len(plan))
+	if store != nil {
+		fmt.Printf(", %d already checkpointed (*)", resumed)
+	}
+	fmt.Printf("\nfingerprint: %s\n", fp)
 }
 
 // closeTrace flushes the telemetry trace before an error exit (os.Exit

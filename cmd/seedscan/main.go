@@ -34,6 +34,7 @@ import (
 	"seedscan/internal/alias"
 	"seedscan/internal/cluster"
 	"seedscan/internal/experiment"
+	"seedscan/internal/experiment/grid"
 	"seedscan/internal/hitlist"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
@@ -252,6 +253,7 @@ func cmdRun(args []string) error {
 	protoName := fs.String("proto", "icmp", "protocol: icmp, tcp80, tcp443, udp53")
 	budget := fs.Int("budget", 20000, "generation budget")
 	dataset := fs.String("seeds", "allactive", "seed treatment: full, dealiased, allactive, port")
+	checkpoint := fs.String("checkpoint", "", "checkpoint the run as a grid cell in this JSONL store (reruns load instead of scanning)")
 	trace, metrics := teleFlags(fs)
 	fs.Parse(args)
 
@@ -266,26 +268,40 @@ func cmdRun(args []string) error {
 	defer finish()
 	ctx, stop := signalContext()
 	defer stop()
-	env := buildEnvTele(*seed, *ases, *scale, *budget, tr)
-	var seedSet []ipaddrAddr
+
+	cfg := experiment.EnvConfig{
+		WorldSeed: *seed, NumASes: *ases, CollectScale: *scale, Budget: *budget,
+		Telemetry: tr,
+	}
+	if *checkpoint != "" {
+		store, err := grid.OpenJSONL(*checkpoint)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		cfg.GridStore = store
+	}
+	env := experiment.NewEnv(cfg)
+	var treatment grid.Treatment
 	switch *dataset {
 	case "full":
-		seedSet = env.Full.SortedSlice()
+		treatment = experiment.TreatmentFull
 	case "dealiased":
-		seedSet = env.DealiasedSeeds(alias.ModeJoint).SortedSlice()
+		treatment = experiment.TreatmentDealiased(alias.ModeJoint)
 	case "allactive":
-		seedSet = env.AllActiveSeeds().SortedSlice()
+		treatment = experiment.TreatmentAllActive
 	case "port":
-		seedSet = env.PortActiveSeeds(p).SortedSlice()
+		treatment = experiment.TreatmentPortActive(p)
 	default:
 		return fmt.Errorf("unknown seed treatment %q", *dataset)
 	}
-	fmt.Printf("running %s on %d seeds (%s), %s, budget %d\n", *gen, len(seedSet), *dataset, p, *budget)
-	res, err := env.RunTGACtx(ctx, *gen, seedSet, p, *budget)
+	spec := env.SpecOneCell(*gen, treatment, p, *budget)
+	fmt.Printf("running %s on seed treatment %q, %s, budget %d\n", *gen, treatment, p, *budget)
+	rs, err := env.Grid().Run(ctx, spec)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("generated: %d unique candidates (exhausted=%v)\n", res.Run.Generated, res.Run.Exhausted)
+	res := rs.Of(spec.Cells[0])
 	fmt.Printf("hits: %d dealiased active addresses in %d ASes; %d aliased discarded\n",
 		res.Outcome.Hits, res.Outcome.ASes, res.Outcome.Aliases)
 	fmt.Printf("scanner: %d packets sent, %.1fs virtual scan time at 10k pps\n",

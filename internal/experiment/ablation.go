@@ -1,11 +1,11 @@
 package experiment
 
 import (
+	"context"
+
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
-	"seedscan/internal/tga"
-	"seedscan/internal/tga/all"
 	"seedscan/internal/world"
 )
 
@@ -70,27 +70,18 @@ func (e *Env) ScanAgreement(targets []ipaddr.Addr, p proto.Protocol) float64 {
 
 // BatchSizeAblation runs one online generator at several feedback batch
 // sizes and reports hits per size — quantifying how much online adaptation
-// depends on feedback frequency (DESIGN.md decision 3).
+// depends on feedback frequency (DESIGN.md decision 3). The runs go
+// through the grid engine, so the experiment-default batch size dedups
+// against the regular RQ cells and counts raw (unfiltered) hits from the
+// checkpointed result.
 func (e *Env) BatchSizeAblation(gen string, p proto.Protocol, budget int, sizes []int) (map[int]int, error) {
+	rs, err := e.Grid().Run(context.Background(), e.SpecBatchAblation(gen, p, budget, sizes))
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int]int, len(sizes))
-	seedSet := e.AllActiveSeeds().SortedSlice()
 	for _, bs := range sizes {
-		g, err := all.New(gen)
-		if err != nil {
-			return nil, err
-		}
-		run, err := tga.Run(g, seedSet, tga.RunConfig{
-			Budget:       budget,
-			BatchSize:    bs,
-			Proto:        p,
-			Prober:       e.Prober,
-			Dealiaser:    e.OutputDealiaser(p),
-			ExcludeSeeds: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out[bs] = len(run.Hits)
+		out[bs] = len(rs.Of(e.cell(gen, TreatmentAllActive, p, budget, bs)).Hits)
 	}
 	return out, nil
 }

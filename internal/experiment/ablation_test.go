@@ -80,11 +80,15 @@ func TestRawGridShape(t *testing.T) {
 func TestGridSeedsResolveAllLabels(t *testing.T) {
 	e := testEnv(t)
 	for _, label := range GridDatasets {
-		if got := e.gridSeeds(label); len(got) == 0 {
+		got, err := e.TreatmentSeeds(gridTreatment(label))
+		if err != nil {
+			t.Fatalf("treatment %q: %v", label, err)
+		}
+		if len(got) == 0 {
 			t.Fatalf("treatment %q resolved to empty seeds", label)
 		}
 	}
-	if e.gridSeeds("bogus") != nil {
+	if _, err := e.TreatmentSeeds(gridTreatment("bogus")); err == nil {
 		t.Fatal("bogus label resolved")
 	}
 }

@@ -83,8 +83,10 @@ func TestEnvTelemetryFlow(t *testing.T) {
 		switch {
 		case ev.Type == "progress":
 			progress++
-			if ev.Total != len(gens) {
-				t.Fatalf("progress total = %d, want %d", ev.Total, len(gens))
+			// One progress event per completed grid cell; the comparison has
+			// two unique cells (original + changed treatment) per generator.
+			if ev.Total != 2*len(gens) {
+				t.Fatalf("progress total = %d, want %d", ev.Total, 2*len(gens))
 			}
 		case ev.Type == "span_start" && ev.Name == "run":
 			runSpans++

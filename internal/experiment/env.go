@@ -2,16 +2,22 @@
 // end: it builds the world, collects and preprocesses seed datasets
 // (Table 2's treatments), drives the eight TGAs through the scanner with
 // two-tier output dealiasing, and renders every table and figure of the
-// evaluation section.
+// evaluation section. Every TGA-running harness compiles into a
+// declarative grid.Spec and executes through the Env's shared grid
+// engine, which deduplicates cells across specs and checkpoints completed
+// cells for resume (see internal/experiment/grid).
 package experiment
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"seedscan/internal/alias"
 	"seedscan/internal/cluster"
+	"seedscan/internal/experiment/grid"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/metrics"
 	"seedscan/internal/proto"
@@ -23,6 +29,12 @@ import (
 	"seedscan/internal/tga/modelcache"
 	"seedscan/internal/world"
 )
+
+// experimentBatchSize is the generate→scan→feedback granularity of every
+// grid cell. Small batches give online generators enough feedback rounds
+// to adapt at scaled-down budgets (the paper's 50M-budget runs see
+// thousands of rounds).
+const experimentBatchSize = 1024
 
 // EnvConfig sizes an experimental environment. Zero values get defaults.
 type EnvConfig struct {
@@ -47,6 +59,13 @@ type EnvConfig struct {
 	// scanner's, so experiment outcomes do not change — only the scanning
 	// topology does. 0 or 1 keeps the plain single scanner.
 	ClusterWorkers int
+	// Workers overrides the experiment fan-out width (default: NumCPU-1,
+	// capped at 8). Deterministic outcomes do not depend on it.
+	Workers int
+	// GridStore checkpoints completed grid cells, letting an interrupted
+	// run resume with byte-identical results. Nil keeps checkpoints
+	// in-process only (cells are still deduplicated across specs).
+	GridStore grid.Store
 	// Telemetry receives the environment's spans, progress events, and
 	// metrics. Nil gets a silent tracer, so instrumentation is always
 	// wired and always cheap.
@@ -105,15 +124,22 @@ type Env struct {
 	// EnvConfig.Telemetry was not set).
 	Tele *telemetry.Tracer
 
-	// Lazily computed treatment caches.
-	dealiased   map[alias.Mode]*seeds.Dataset
-	activeByP   map[proto.Protocol]*ipaddr.Set // responsive joint-dealiased seeds per protocol
-	allActive   *seeds.Dataset
-	outDealiase map[proto.Protocol]*alias.Dealiaser
+	// Lazily computed treatment caches, each per-key singleflight: grid
+	// cells resolve treatments concurrently and cold, and the first
+	// resolver builds while the rest wait (no caller-side pre-warming).
+	dealiased   lazyCache[alias.Mode, *seeds.Dataset]
+	activeByP   lazyCache[proto.Protocol, *ipaddr.Set]
+	allActive   lazyCache[struct{}, *seeds.Dataset]
+	outDealiase lazyCache[proto.Protocol, *alias.Dealiaser]
 	// models caches mined TGA seed models across runs: grid cells that fix
 	// the seed treatment and vary only the protocol (the paper's own
 	// methodology) reuse the model instead of re-mining it per cell.
 	models *modelcache.Cache
+
+	// gridEngine schedules every spec's cells (lazily built: the
+	// fingerprint digests the collected corpus).
+	gridOnce   sync.Once
+	gridEngine *grid.Engine
 }
 
 // NewEnv builds the world, collects all seed sources at the collection
@@ -146,14 +172,11 @@ func NewEnv(cfg EnvConfig) *Env {
 		Scanner: scanner.New(w.Link(),
 			scanner.WithSecret(cfg.ScanSecret),
 			scanner.WithTelemetry(tr.Registry())),
-		Tele:        tr,
-		Sources:     srcs,
-		Full:        full,
-		Offline:     alias.NewOfflineList(listed),
-		dealiased:   make(map[alias.Mode]*seeds.Dataset),
-		activeByP:   make(map[proto.Protocol]*ipaddr.Set),
-		outDealiase: make(map[proto.Protocol]*alias.Dealiaser),
-		models:      modelcache.New(),
+		Tele:    tr,
+		Sources: srcs,
+		Full:    full,
+		Offline: alias.NewOfflineList(listed),
+		models:  modelcache.New(),
 	}
 	e.models.SetTelemetry(tr.Registry())
 	e.Prober = e.Scanner
@@ -169,56 +192,78 @@ func NewEnv(cfg EnvConfig) *Env {
 	return e
 }
 
+// Fingerprint is the environment's content address: every EnvConfig knob
+// that determines experiment outcomes, plus an order-sensitive digest of
+// the collected seed corpus. Grid cell keys are derived from it, so a
+// checkpoint store only ever satisfies runs with an identical
+// environment. ClusterWorkers and Workers are deliberately absent: the
+// scanning topology and fan-out width change wall-clock, not results, so
+// a store written by a cluster-backed run resumes a single-scanner run
+// and vice versa.
+func (e *Env) Fingerprint() string {
+	c := e.Cfg
+	return fmt.Sprintf("w%d-a%d-l%g-c%d-s%g-o%g-k%x-d%016x",
+		c.WorldSeed, c.NumASes, c.LossRate, c.CollectSeed, c.CollectScale,
+		c.OfflineCoverage, c.ScanSecret, ipaddr.Digest(e.Full.SortedSlice()))
+}
+
+// Grid returns the environment's cell engine, shared by every spec so
+// identical cells across concurrently running harnesses execute once.
+func (e *Env) Grid() *grid.Engine {
+	e.gridOnce.Do(func() {
+		e.gridEngine = grid.NewEngine(grid.Config{
+			Fingerprint: e.Fingerprint(),
+			Store:       e.Cfg.GridStore,
+			Workers:     e.Workers(),
+			Telemetry:   e.Tele,
+			Exec:        e.RunCell,
+		})
+	})
+	return e.gridEngine
+}
+
 // OutputDealiaser returns the shared joint (offline+online) dealiaser used
-// to classify TGA output on protocol p, per §4.2.
+// to classify TGA output on protocol p, per §4.2. Safe for concurrent
+// cold calls.
 func (e *Env) OutputDealiaser(p proto.Protocol) *alias.Dealiaser {
-	d, ok := e.outDealiase[p]
-	if !ok {
-		d = alias.New(alias.ModeJoint, e.Offline, e.Prober, p, e.Cfg.ScanSecret^uint64(p))
+	return e.outDealiase.get(p, func() *alias.Dealiaser {
+		d := alias.New(alias.ModeJoint, e.Offline, e.Prober, p, e.Cfg.ScanSecret^uint64(p))
 		d.SetTelemetry(e.Tele.Registry())
-		e.outDealiase[p] = d
-	}
-	return d
+		return d
+	})
 }
 
 // DealiasedSeeds returns the full dataset under one of Table 2's
-// dealiasing treatments. Results are cached.
+// dealiasing treatments. Results are cached; concurrent cold calls for
+// the same mode dealias once.
 func (e *Env) DealiasedSeeds(mode alias.Mode) *seeds.Dataset {
-	if ds, ok := e.dealiased[mode]; ok {
-		return ds
-	}
-	d := alias.New(mode, e.Offline, e.Prober, proto.ICMP, e.Cfg.ScanSecret^0xa11a5)
-	d.SetTelemetry(e.Tele.Registry())
-	clean, _ := d.Split(e.Full.Slice())
-	ds := seeds.FromAddrs("Full/"+mode.String(), clean)
-	e.dealiased[mode] = ds
-	return ds
+	return e.dealiased.get(mode, func() *seeds.Dataset {
+		d := alias.New(mode, e.Offline, e.Prober, proto.ICMP, e.Cfg.ScanSecret^0xa11a5)
+		d.SetTelemetry(e.Tele.Registry())
+		clean, _ := d.Split(e.Full.Slice())
+		return seeds.FromAddrs("Full/"+mode.String(), clean)
+	})
 }
 
 // seedActive scans the joint-dealiased seeds on p and caches the
-// responsive subset.
+// responsive subset; concurrent cold calls scan once.
 func (e *Env) seedActive(p proto.Protocol) *ipaddr.Set {
-	if s, ok := e.activeByP[p]; ok {
-		return s
-	}
-	base := e.DealiasedSeeds(alias.ModeJoint)
-	active := ipaddr.NewSet(e.Prober.ScanActive(base.Slice(), p)...)
-	e.activeByP[p] = active
-	return active
+	return e.activeByP.get(p, func() *ipaddr.Set {
+		base := e.DealiasedSeeds(alias.ModeJoint)
+		return ipaddr.NewSet(e.Prober.ScanActive(base.Slice(), p)...)
+	})
 }
 
 // AllActiveSeeds returns RQ1.b's "All Active" dataset: joint-dealiased
 // seeds responsive on at least one studied protocol at scan time.
 func (e *Env) AllActiveSeeds() *seeds.Dataset {
-	if e.allActive != nil {
-		return e.allActive
-	}
-	u := ipaddr.NewSet()
-	for _, p := range proto.All {
-		u.AddSet(e.seedActive(p))
-	}
-	e.allActive = seeds.FromSet("All Active", u)
-	return e.allActive
+	return e.allActive.get(struct{}{}, func() *seeds.Dataset {
+		u := ipaddr.NewSet()
+		for _, p := range proto.All {
+			u.AddSet(e.seedActive(p))
+		}
+		return seeds.FromSet("All Active", u)
+	})
 }
 
 // PortActiveSeeds returns RQ2's port-specific dataset: seeds responsive on
@@ -253,8 +298,17 @@ func (e *Env) RunTGA(name string, seedSet []ipaddr.Addr, p proto.Protocol, budge
 // so the TGA driver's span hierarchy lands in Env telemetry unless the
 // caller brought a tracer of its own.
 func (e *Env) RunTGACtx(ctx context.Context, name string, seedSet []ipaddr.Addr, p proto.Protocol, budget int) (TGAResult, error) {
+	return e.runTGA(ctx, name, seedSet, p, budget, 0)
+}
+
+// runTGA is the common TGA runner behind RunTGACtx and grid cell
+// execution; batchSize <= 0 selects the experiment default.
+func (e *Env) runTGA(ctx context.Context, name string, seedSet []ipaddr.Addr, p proto.Protocol, budget, batchSize int) (TGAResult, error) {
 	if budget <= 0 {
 		budget = e.Cfg.Budget
+	}
+	if batchSize <= 0 {
+		batchSize = experimentBatchSize
 	}
 	ctx = telemetry.EnsureContext(ctx, e.Tele)
 	g, err := all.New(name)
@@ -262,11 +316,8 @@ func (e *Env) RunTGACtx(ctx context.Context, name string, seedSet []ipaddr.Addr,
 		return TGAResult{}, err
 	}
 	run, err := tga.RunContext(ctx, g, seedSet, tga.RunConfig{
-		Budget: budget,
-		// Small batches give online generators enough feedback rounds to
-		// adapt at scaled-down budgets (the paper's 50M-budget runs see
-		// thousands of rounds).
-		BatchSize:    1024,
+		Budget:       budget,
+		BatchSize:    batchSize,
 		Proto:        p,
 		Prober:       e.Prober,
 		Dealiaser:    e.OutputDealiaser(p),
@@ -282,4 +333,25 @@ func (e *Env) RunTGACtx(ctx context.Context, name string, seedSet []ipaddr.Addr,
 	}
 	out := metrics.Measure(run.Hits, run.AliasedHits, e.World.ASDB(), exclude)
 	return TGAResult{Run: run, Outcome: out}, nil
+}
+
+// RunCell executes one grid cell: resolve the treatment to its seed list,
+// run the generator, and measure. An empty treatment (a seed source with
+// no responsive addresses) yields the zero result without running — the
+// same skip the bespoke per-RQ drivers applied. RunCell is the Env's
+// grid executor; callers normally go through Grid().Run, which adds
+// dedup, checkpointing, and resume.
+func (e *Env) RunCell(ctx context.Context, c grid.Cell) (grid.CellResult, error) {
+	seedSet, err := e.TreatmentSeeds(c.Treatment)
+	if err != nil {
+		return grid.CellResult{}, err
+	}
+	if len(seedSet) == 0 {
+		return grid.CellResult{}, nil
+	}
+	r, err := e.runTGA(ctx, c.Gen, seedSet, c.Proto, c.Budget, c.BatchSize)
+	if err != nil {
+		return grid.CellResult{}, err
+	}
+	return grid.CellResult{Outcome: r.Outcome, Hits: r.Run.Hits}, nil
 }

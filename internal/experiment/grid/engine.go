@@ -1,0 +1,256 @@
+package grid
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"seedscan/internal/telemetry"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Fingerprint is the environment's content address (see Cell.Key).
+	Fingerprint string
+	// Store checkpoints completed cells; nil disables persistence (the
+	// engine still memoizes completed cells in-process, which is what
+	// deduplicates cells across specs).
+	Store Store
+	// Workers bounds the cell fan-out (default: NumCPU-1, capped at 8 —
+	// the experiment grid's historical width).
+	Workers int
+	// Telemetry receives grid.cells.* counters and per-spec progress
+	// events; nil gets a silent tracer.
+	Telemetry *telemetry.Tracer
+	// Exec runs one cell. It must be safe for concurrent calls and
+	// deterministic: the engine's dedup and resume guarantees are only as
+	// good as the executor's reproducibility.
+	Exec func(ctx context.Context, c Cell) (CellResult, error)
+}
+
+// flight is a singleflight slot for one cell: the first requester
+// executes, everyone else waits on ready. Successful flights stay in the
+// engine as the in-process memo; failed (or cancelled) flights are
+// removed so a later request retries.
+type flight struct {
+	ready chan struct{}
+	res   CellResult
+	err   error
+}
+
+// Engine schedules cells: one merged worklist across every requested
+// spec, deduplicated by cell identity, checkpointed through the Store.
+type Engine struct {
+	cfg Config
+	tr  *telemetry.Tracer
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// NewEngine builds an engine. Config.Exec is required.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Exec == nil {
+		panic("grid: NewEngine requires Config.Exec")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU() - 1
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	tr := cfg.Telemetry
+	if tr == nil {
+		tr = telemetry.NewTracer(nil)
+	}
+	return &Engine{cfg: cfg, tr: tr, flights: make(map[string]*flight)}
+}
+
+// Results holds one Run's cell results, addressed by cell identity.
+type Results struct {
+	cells map[string]CellResult
+}
+
+// Of returns the result of cell c (the zero CellResult if c was not part
+// of the run).
+func (r Results) Of(c Cell) CellResult { return r.cells[c.ID()] }
+
+// Len reports the number of unique cells in the run.
+func (r Results) Len() int { return len(r.cells) }
+
+// Run executes every cell of spec and returns their results. Duplicate
+// cells — within the spec, across concurrent Run calls, or already
+// completed earlier in the process — execute exactly once
+// (grid.cells.deduped counts the skips); cells checkpointed in the Store
+// are loaded instead of executed (grid.cells.resumed); everything else
+// runs through Config.Exec on up to Config.Workers goroutines
+// (grid.cells.run). The first error cancels the remaining cells and is
+// returned; cancelled or failed cells are not checkpointed and will be
+// retried by a later Run.
+func (e *Engine) Run(ctx context.Context, spec Spec) (Results, error) {
+	reg := e.tr.Registry()
+	reg.Counter("grid.cells.planned").Add(int64(len(spec.Cells)))
+
+	seen := make(map[string]struct{}, len(spec.Cells))
+	unique := make([]Cell, 0, len(spec.Cells))
+	for _, c := range spec.Cells {
+		id := c.ID()
+		if _, ok := seen[id]; ok {
+			reg.Counter("grid.cells.deduped").Inc()
+			continue
+		}
+		seen[id] = struct{}{}
+		unique = append(unique, c)
+	}
+
+	results := make(map[string]CellResult, len(unique))
+	var resMu sync.Mutex
+	var done atomic.Int64
+	err := RunParallel(ctx, e.cfg.Workers, len(unique), func(ctx context.Context, i int) error {
+		c := unique[i]
+		r, err := e.do(ctx, c)
+		if err != nil {
+			return err
+		}
+		resMu.Lock()
+		results[c.ID()] = r
+		resMu.Unlock()
+		e.tr.Progress(spec.Name, int(done.Add(1)), len(unique))
+		return nil
+	})
+	if err != nil {
+		return Results{}, err
+	}
+	return Results{cells: results}, nil
+}
+
+// do resolves one cell: join an in-flight execution, load a checkpoint,
+// or execute and checkpoint. If the flight owner fails (error or
+// cancellation), waiters whose own context is still live retry the cell
+// themselves.
+func (e *Engine) do(ctx context.Context, c Cell) (CellResult, error) {
+	id := c.ID()
+	key := c.Key(e.cfg.Fingerprint)
+	reg := e.tr.Registry()
+	for {
+		e.mu.Lock()
+		if f, ok := e.flights[id]; ok {
+			e.mu.Unlock()
+			reg.Counter("grid.cells.deduped").Inc()
+			select {
+			case <-f.ready:
+				if f.err == nil {
+					return f.res, nil
+				}
+				if err := ctx.Err(); err != nil {
+					return CellResult{}, err
+				}
+				continue // owner failed and cleared the slot; retry
+			case <-ctx.Done():
+				return CellResult{}, ctx.Err()
+			}
+		}
+		f := &flight{ready: make(chan struct{})}
+		e.flights[id] = f
+		e.mu.Unlock()
+
+		if st := e.cfg.Store; st != nil {
+			if r, ok := st.Get(key); ok {
+				f.res = r
+				reg.Counter("grid.cells.resumed").Inc()
+				close(f.ready)
+				return r, nil
+			}
+		}
+		res, err := e.cfg.Exec(ctx, c)
+		if err != nil {
+			f.err = err
+			e.mu.Lock()
+			if e.flights[id] == f {
+				delete(e.flights, id)
+			}
+			e.mu.Unlock()
+			close(f.ready)
+			return CellResult{}, err
+		}
+		f.res = res
+		reg.Counter("grid.cells.run").Inc()
+		if st := e.cfg.Store; st != nil {
+			if perr := st.Put(key, c, res); perr != nil {
+				// The run itself succeeded; losing one checkpoint only
+				// costs a re-run on resume.
+				reg.Counter("grid.store.put_errors").Inc()
+			}
+		}
+		close(f.ready)
+		return res, nil
+	}
+}
+
+// RunParallel executes fn(0..n-1) on up to `workers` goroutines and
+// returns the first error. Every fn receives a grid context derived from
+// ctx that is cancelled as soon as any sibling fails, so long-running
+// siblings stop promptly instead of finishing doomed work; no further
+// indices are dispatched after cancellation either. The parent's
+// ctx.Err() is returned if it cut the grid short.
+func RunParallel(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := gctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(gctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if gctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				if err != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if e := fn(gctx, i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err == nil {
+		err = ctx.Err()
+	}
+	return err
+}

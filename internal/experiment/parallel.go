@@ -3,21 +3,24 @@ package experiment
 import (
 	"context"
 	"runtime"
-	"sync"
+
+	"seedscan/internal/experiment/grid"
 )
 
 // Experiment grids run many independent TGA runs; each run is
 // deterministic in isolation (its own generator, deterministic scanning
 // and dealiasing), so running them concurrently changes wall-clock time
 // and nothing else. Shared state (the scanner's atomic counters, the
-// output dealiaser's verdict cache, the telemetry registry) is
-// concurrency-safe.
-//
-// Lazily cached seed treatments are NOT safe to build concurrently, so
-// every harness resolves its seed lists before fanning out.
+// output dealiaser's verdict cache, the telemetry registry, the Env's
+// per-key singleflight treatment caches) is concurrency-safe, so
+// harnesses fan out without resolving seed lists first.
 
-// Workers returns the experiment fan-out width.
+// Workers returns the experiment fan-out width: EnvConfig.Workers if
+// set, else NumCPU-1 capped at 8.
 func (e *Env) Workers() int {
+	if e.Cfg.Workers > 0 {
+		return e.Cfg.Workers
+	}
 	w := runtime.NumCPU() - 1
 	if w < 1 {
 		w = 1
@@ -29,65 +32,8 @@ func (e *Env) Workers() int {
 }
 
 // runParallel executes fn(0..n-1) on up to `workers` goroutines and
-// returns the first error. Every fn receives a grid context derived from
-// ctx that is cancelled as soon as any sibling fails, so long-running
-// siblings stop promptly instead of finishing doomed work; no further
-// indices are dispatched after cancellation either. The parent's
-// ctx.Err() is returned if it cut the grid short.
+// returns the first error; see grid.RunParallel, whose semantics it
+// shares (the implementation moved there with the grid engine).
 func runParallel(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
-	gctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := gctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(gctx, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if gctx.Err() != nil {
-					return
-				}
-				mu.Lock()
-				if err != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if e := fn(gctx, i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-					cancel()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if err == nil {
-		err = ctx.Err()
-	}
-	return err
+	return grid.RunParallel(ctx, workers, n, fn)
 }

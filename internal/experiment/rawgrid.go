@@ -2,10 +2,9 @@ package experiment
 
 import (
 	"context"
-	"sync/atomic"
 
 	"seedscan/internal/alias"
-	"seedscan/internal/ipaddr"
+	"seedscan/internal/experiment/grid"
 	"seedscan/internal/metrics"
 	"seedscan/internal/proto"
 )
@@ -26,31 +25,34 @@ var GridDatasets = []string{
 	"UDP53",
 }
 
-// gridSeeds resolves a treatment label to its seed list.
-func (e *Env) gridSeeds(label string) []ipaddr.Addr {
+// gridTreatment resolves a treatment row label to its grid treatment.
+// Rows shared with the RQ specs ("All", "Active-Inactive", "All Active",
+// the port rows) map to the identical treatments, so their cells dedup
+// against RQ1/RQ2/RQ4 runs.
+func gridTreatment(label string) grid.Treatment {
 	switch label {
 	case "All":
-		return e.Full.SortedSlice()
+		return TreatmentFull
 	case "Offline Dealiased":
-		return e.DealiasedSeeds(alias.ModeOffline).SortedSlice()
+		return TreatmentDealiased(alias.ModeOffline)
 	case "Online Dealiased":
-		return e.DealiasedSeeds(alias.ModeOnline).SortedSlice()
+		return TreatmentDealiased(alias.ModeOnline)
 	case "Active-Inactive":
 		// The paper's shorthand for the joint-dealiased dataset, which
 		// still mixes responsive and unresponsive seeds.
-		return e.DealiasedSeeds(alias.ModeJoint).SortedSlice()
+		return TreatmentDealiased(alias.ModeJoint)
 	case "All Active":
-		return e.AllActiveSeeds().SortedSlice()
+		return TreatmentAllActive
 	case "ICMP":
-		return e.PortActiveSeeds(proto.ICMP).SortedSlice()
+		return TreatmentPortActive(proto.ICMP)
 	case "TCP80":
-		return e.PortActiveSeeds(proto.TCP80).SortedSlice()
+		return TreatmentPortActive(proto.TCP80)
 	case "TCP443":
-		return e.PortActiveSeeds(proto.TCP443).SortedSlice()
+		return TreatmentPortActive(proto.TCP443)
 	case "UDP53":
-		return e.PortActiveSeeds(proto.UDP53).SortedSlice()
+		return TreatmentPortActive(proto.UDP53)
 	}
-	return nil
+	return grid.Treatment("unknown:" + label)
 }
 
 // RawGrid holds Tables 9-12: Outcome[p][dataset][gen].
@@ -75,46 +77,24 @@ func (e *Env) RunRawGridCtx(ctx context.Context, protos []proto.Protocol, gens, 
 	if datasets == nil {
 		datasets = GridDatasets
 	}
-	grid := &RawGrid{
-		Budget: budget, Gens: gens, Datasets: datasets,
-		Outcome: make(map[proto.Protocol]map[string]map[string]metrics.Outcome),
-	}
-	type job struct {
-		p   proto.Protocol
-		ds  string
-		gen string
-		set []ipaddr.Addr
-	}
-	var jobs []job
-	for _, p := range protos {
-		grid.Outcome[p] = make(map[string]map[string]metrics.Outcome)
-		e.OutputDealiaser(p)
-		for _, ds := range datasets {
-			seedSet := e.gridSeeds(ds)
-			grid.Outcome[p][ds] = make(map[string]metrics.Outcome)
-			for _, g := range gens {
-				jobs = append(jobs, job{p: p, ds: ds, gen: g, set: seedSet})
-			}
-		}
-	}
-	outs := make([]metrics.Outcome, len(jobs))
-	var done atomic.Int64
-	err := runParallel(ctx, e.Workers(), len(jobs), func(ctx context.Context, i int) error {
-		r, err := e.RunTGACtx(ctx, jobs[i].gen, jobs[i].set, jobs[i].p, budget)
-		if err != nil {
-			return err
-		}
-		outs[i] = r.Outcome
-		e.Tele.Progress("Raw grid", int(done.Add(1)), len(jobs))
-		return nil
-	})
+	rs, err := e.Grid().Run(ctx, e.SpecRawGrid(protos, gens, datasets, budget))
 	if err != nil {
 		return nil, err
 	}
-	for i, j := range jobs {
-		grid.Outcome[j.p][j.ds][j.gen] = outs[i]
+	rg := &RawGrid{
+		Budget: budget, Gens: gens, Datasets: datasets,
+		Outcome: make(map[proto.Protocol]map[string]map[string]metrics.Outcome),
 	}
-	return grid, nil
+	for _, p := range protos {
+		rg.Outcome[p] = make(map[string]map[string]metrics.Outcome)
+		for _, ds := range datasets {
+			rg.Outcome[p][ds] = make(map[string]metrics.Outcome)
+			for _, g := range gens {
+				rg.Outcome[p][ds][g] = rs.Of(e.cell(g, gridTreatment(ds), p, budget, 0)).Outcome
+			}
+		}
+	}
+	return rg, nil
 }
 
 // Render prints one protocol's grid in the layout of Tables 9-12: a Hits

@@ -2,10 +2,9 @@ package experiment
 
 import (
 	"context"
-	"sync/atomic"
 
 	"seedscan/internal/alias"
-	"seedscan/internal/ipaddr"
+	"seedscan/internal/experiment/grid"
 	"seedscan/internal/metrics"
 	"seedscan/internal/proto"
 )
@@ -24,48 +23,32 @@ type ComparisonResult struct {
 	Ratios map[proto.Protocol][]metrics.RatioRow
 }
 
-// compare runs every generator on both seed treatments across protos and
-// computes Performance Ratio rows. Progress events (one per completed
-// generator×protocol pair) go to the environment's tracer.
-func (e *Env) compare(ctx context.Context, name, origName, chgName string,
-	original, changed func(p proto.Protocol) []ipaddr.Addr,
+// compare executes a comparison spec through the grid engine and folds
+// the cell outcomes into Performance Ratio rows. Cells shared with other
+// specs (or already checkpointed) are not re-run; progress events carry
+// the spec's unique-cell count.
+func (e *Env) compare(ctx context.Context, spec grid.Spec, origName, chgName string,
+	orig, chg func(p proto.Protocol) grid.Treatment,
 	protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
 
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
+	rs, err := e.Grid().Run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
 	res := &ComparisonResult{
-		Name: name, Original: origName, Changed: chgName, Budget: budget,
+		Name: spec.Name, Original: origName, Changed: chgName, Budget: budget,
 		Raw:    make(map[proto.Protocol]map[string][2]metrics.Outcome),
 		Ratios: make(map[proto.Protocol][]metrics.RatioRow),
 	}
-	total := len(protos) * len(gens)
-	var done atomic.Int64
 	for _, p := range protos {
 		res.Raw[p] = make(map[string][2]metrics.Outcome)
-		orig := original(p)
-		chg := changed(p)
-		e.OutputDealiaser(p) // materialize the shared dealiaser before fan-out
-		outcomes := make([][2]metrics.Outcome, len(gens))
-		err := runParallel(ctx, e.Workers(), len(gens), func(ctx context.Context, i int) error {
-			ro, err := e.RunTGACtx(ctx, gens[i], orig, p, budget)
-			if err != nil {
-				return err
-			}
-			rc, err := e.RunTGACtx(ctx, gens[i], chg, p, budget)
-			if err != nil {
-				return err
-			}
-			outcomes[i] = [2]metrics.Outcome{ro.Outcome, rc.Outcome}
-			e.Tele.Progress(name, int(done.Add(1)), total)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		for i, g := range gens {
-			ro, rc := outcomes[i][0], outcomes[i][1]
-			res.Raw[p][g] = outcomes[i]
+		for _, g := range gens {
+			ro := rs.Of(e.cell(g, orig(p), p, budget, 0)).Outcome
+			rc := rs.Of(e.cell(g, chg(p), p, budget, 0)).Outcome
+			res.Raw[p][g] = [2]metrics.Outcome{ro, rc}
 			res.Ratios[p] = append(res.Ratios[p], metrics.RatioRow{
 				Generator: g,
 				Hits:      metrics.PerformanceRatio(float64(rc.Hits), float64(ro.Hits)),
@@ -86,10 +69,8 @@ func (e *Env) RunRQ1a(protos []proto.Protocol, gens []string, budget int) (*Comp
 
 // RunRQ1aCtx is RunRQ1a under a context.
 func (e *Env) RunRQ1aCtx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
-	return e.compare(ctx, "RQ1.a / Figure 3", "Full", "Dealiased",
-		func(proto.Protocol) []ipaddr.Addr { return e.Full.SortedSlice() },
-		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).SortedSlice() },
-		protos, gens, budget)
+	return e.compare(ctx, e.SpecRQ1a(protos, gens, budget), "Full", "Dealiased",
+		treatFull, treatJoint, protos, gens, budget)
 }
 
 // Table4Result holds Table 4: aliased addresses discovered by each TGA on
@@ -99,7 +80,7 @@ type Table4Result struct {
 	Gens   []string
 	// Aliases[gen][i] for i indexing alias.Modes (none, offline, online,
 	// joint).
-	Aliases map[string][4]int
+	Aliases map[string][]int
 }
 
 // RunTable4 reproduces Table 4.
@@ -112,44 +93,48 @@ func (e *Env) RunTable4Ctx(ctx context.Context, gens []string, budget int) (*Tab
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
-	res := &Table4Result{Budget: budget, Gens: gens, Aliases: make(map[string][4]int)}
-	// Materialize treatments and the dealiaser before fanning out.
-	seedSets := make([][]ipaddr.Addr, len(alias.Modes))
-	for i, mode := range alias.Modes {
-		seedSets[i] = e.DealiasedSeeds(mode).SortedSlice()
-	}
-	e.OutputDealiaser(proto.ICMP)
-	rows := make([][4]int, len(gens))
-	var done atomic.Int64
-	err := runParallel(ctx, e.Workers(), len(gens), func(ctx context.Context, gi int) error {
-		for i := range alias.Modes {
-			r, err := e.RunTGACtx(ctx, gens[gi], seedSets[i], proto.ICMP, budget)
-			if err != nil {
-				return err
-			}
-			rows[gi][i] = r.Outcome.Aliases
-		}
-		e.Tele.Progress("Table 4", int(done.Add(1)), len(gens))
-		return nil
-	})
+	rs, err := e.Grid().Run(ctx, e.SpecTable4(gens, budget))
 	if err != nil {
 		return nil, err
 	}
-	for i, g := range gens {
-		res.Aliases[g] = rows[i]
+	res := &Table4Result{Budget: budget, Gens: gens, Aliases: make(map[string][]int, len(gens))}
+	for _, g := range gens {
+		row := make([]int, len(alias.Modes))
+		for i, m := range alias.Modes {
+			row[i] = rs.Of(e.cell(g, TreatmentDealiased(m), proto.ICMP, budget, 0)).Outcome.Aliases
+		}
+		res.Aliases[g] = row
 	}
 	return res, nil
 }
 
+// table4ModeLabel names a dealiasing treatment's column in Table 4's
+// layout ("D_All" for the untreated dataset).
+func table4ModeLabel(m alias.Mode) string {
+	if m == alias.ModeNone {
+		return "D_All"
+	}
+	return "D_" + m.String()
+}
+
 // Render prints Table 4.
 func (r *Table4Result) Render() string {
+	header := make([]string, 0, len(alias.Modes)+1)
+	header = append(header, "Model")
+	for _, m := range alias.Modes {
+		header = append(header, table4ModeLabel(m))
+	}
 	t := &Table{
 		Title:  "Table 4: Aliased addresses discovered per seed-dealiasing treatment (ICMP)",
-		Header: []string{"Model", "D_All", "D_offline", "D_online", "D_joint"},
+		Header: header,
 	}
 	for _, g := range r.Gens {
-		row := r.Aliases[g]
-		t.AddRow(g, fmtInt(row[0]), fmtInt(row[1]), fmtInt(row[2]), fmtInt(row[3]))
+		cells := make([]string, 0, len(alias.Modes)+1)
+		cells = append(cells, g)
+		for _, v := range r.Aliases[g] {
+			cells = append(cells, fmtInt(v))
+		}
+		t.AddRow(cells...)
 	}
 	return t.String()
 }
@@ -163,10 +148,8 @@ func (e *Env) RunRQ1b(protos []proto.Protocol, gens []string, budget int) (*Comp
 
 // RunRQ1bCtx is RunRQ1b under a context.
 func (e *Env) RunRQ1bCtx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
-	return e.compare(ctx, "RQ1.b / Figure 4", "Dealiased", "All Active",
-		func(proto.Protocol) []ipaddr.Addr { return e.DealiasedSeeds(alias.ModeJoint).SortedSlice() },
-		func(proto.Protocol) []ipaddr.Addr { return e.AllActiveSeeds().SortedSlice() },
-		protos, gens, budget)
+	return e.compare(ctx, e.SpecRQ1b(protos, gens, budget), "Dealiased", "All Active",
+		treatJoint, treatAllActive, protos, gens, budget)
 }
 
 // Render prints the comparison's ratio rows per protocol.

@@ -3,7 +3,6 @@ package experiment
 import (
 	"context"
 
-	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
 )
 
@@ -16,10 +15,8 @@ func (e *Env) RunRQ2(protos []proto.Protocol, gens []string, budget int) (*Compa
 
 // RunRQ2Ctx is RunRQ2 under a context.
 func (e *Env) RunRQ2Ctx(ctx context.Context, protos []proto.Protocol, gens []string, budget int) (*ComparisonResult, error) {
-	return e.compare(ctx, "RQ2 / Figure 5", "All Active", "Port-Specific",
-		func(proto.Protocol) []ipaddr.Addr { return e.AllActiveSeeds().SortedSlice() },
-		func(p proto.Protocol) []ipaddr.Addr { return e.PortActiveSeeds(p).SortedSlice() },
-		protos, gens, budget)
+	return e.compare(ctx, e.SpecRQ2(protos, gens, budget), "All Active", "Port-Specific",
+		treatAllActive, treatPort, protos, gens, budget)
 }
 
 // CrossPortResult holds Appendix D's Figure 7: hits per (input dataset
@@ -46,30 +43,18 @@ func (e *Env) RunCrossPortCtx(ctx context.Context, gens []string, budget int) (*
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
-	res := &CrossPortResult{Budget: budget, Gens: gens}
-	inputs := make([][]ipaddr.Addr, 0, proto.Count+1)
-	for _, p := range proto.All {
-		inputs = append(inputs, e.PortActiveSeeds(p).SortedSlice())
+	rs, err := e.Grid().Run(ctx, e.SpecCrossPort(gens, budget))
+	if err != nil {
+		return nil, err
 	}
-	inputs = append(inputs, e.AllActiveSeeds().SortedSlice())
-
-	cells, done := len(inputs)*int(proto.Count), 0
-	for i, seedSet := range inputs {
+	res := &CrossPortResult{Budget: budget, Gens: gens}
+	for i, in := range crossPortInputs() {
 		for _, scanP := range proto.All {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
 			total := 0
 			for _, g := range gens {
-				r, err := e.RunTGACtx(ctx, g, seedSet, scanP, budget)
-				if err != nil {
-					return nil, err
-				}
-				total += r.Outcome.Hits
+				total += rs.Of(e.cell(g, in, scanP, budget, 0)).Outcome.Hits
 			}
 			res.Hits[i][scanP] = total
-			done++
-			e.Tele.Progress("Figure 7", done, cells)
 		}
 	}
 	return res, nil

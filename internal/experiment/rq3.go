@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"context"
-	"sync/atomic"
 
 	"seedscan/internal/asdb"
 	"seedscan/internal/ipaddr"
@@ -31,7 +30,8 @@ func (e *Env) RunRQ3(protos []proto.Protocol, gens []string, sources []seeds.Sou
 	return e.RunRQ3Ctx(context.Background(), protos, gens, sources, budget)
 }
 
-// RunRQ3Ctx is RunRQ3 under a context.
+// RunRQ3Ctx is RunRQ3 under a context. Sources whose active dataset is
+// empty yield zero outcomes without running (the grid executor's skip).
 func (e *Env) RunRQ3Ctx(ctx context.Context, protos []proto.Protocol, gens []string, sources []seeds.Source, budget int) (*RQ3Result, error) {
 	if budget <= 0 {
 		budget = e.Cfg.Budget
@@ -39,53 +39,27 @@ func (e *Env) RunRQ3Ctx(ctx context.Context, protos []proto.Protocol, gens []str
 	if sources == nil {
 		sources = seeds.AllSources
 	}
+	rs, err := e.Grid().Run(ctx, e.SpecRQ3(protos, gens, sources, budget))
+	if err != nil {
+		return nil, err
+	}
 	res := &RQ3Result{
 		Budget: budget, Protos: protos, Gens: gens, Sources: sources,
 		Outcome: make(map[seeds.Source]map[proto.Protocol]map[string]metrics.Outcome),
 		Hits:    make(map[seeds.Source]map[proto.Protocol]map[string][]ipaddr.Addr),
 	}
-	// Materialize every seed list, dealiaser, and result map first, then
-	// fan the independent (source, proto, generator) runs out in parallel.
-	type job struct {
-		src seeds.Source
-		p   proto.Protocol
-		gen string
-		set []ipaddr.Addr
-	}
-	var jobs []job
 	for _, src := range sources {
-		seedSet := e.SourceActiveSeeds(src).SortedSlice()
 		res.Outcome[src] = make(map[proto.Protocol]map[string]metrics.Outcome)
 		res.Hits[src] = make(map[proto.Protocol]map[string][]ipaddr.Addr)
 		for _, p := range protos {
 			res.Outcome[src][p] = make(map[string]metrics.Outcome)
 			res.Hits[src][p] = make(map[string][]ipaddr.Addr)
-			e.OutputDealiaser(p)
-			if len(seedSet) == 0 {
-				continue
-			}
 			for _, g := range gens {
-				jobs = append(jobs, job{src: src, p: p, gen: g, set: seedSet})
+				c := rs.Of(e.cell(g, TreatmentSourceActive(src), p, budget, 0))
+				res.Outcome[src][p][g] = c.Outcome
+				res.Hits[src][p][g] = c.Hits
 			}
 		}
-	}
-	runs := make([]TGAResult, len(jobs))
-	var done atomic.Int64
-	err := runParallel(ctx, e.Workers(), len(jobs), func(ctx context.Context, i int) error {
-		r, err := e.RunTGACtx(ctx, jobs[i].gen, jobs[i].set, jobs[i].p, budget)
-		if err != nil {
-			return err
-		}
-		runs[i] = r
-		e.Tele.Progress("RQ3", int(done.Add(1)), len(jobs))
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, j := range jobs {
-		res.Outcome[j.src][j.p][j.gen] = runs[i].Outcome
-		res.Hits[j.src][j.p][j.gen] = runs[i].Run.Hits
 	}
 	return res, nil
 }
@@ -113,8 +87,11 @@ func (e *Env) RunTable5(rq3 *RQ3Result) (*Table5Result, error) {
 func (e *Env) RunTable5Ctx(ctx context.Context, rq3 *RQ3Result) (*Table5Result, error) {
 	db := e.World.ASDB()
 	bigBudget := rq3.Budget * len(rq3.Sources)
+	rs, err := e.Grid().Run(ctx, e.SpecTable5(rq3.Gens, len(rq3.Sources), rq3.Budget))
+	if err != nil {
+		return nil, err
+	}
 	res := &Table5Result{}
-	allActive := e.AllActiveSeeds().SortedSlice()
 	for _, g := range rq3.Gens {
 		combined := ipaddr.NewSet()
 		for _, src := range rq3.Sources {
@@ -122,10 +99,7 @@ func (e *Env) RunTable5Ctx(ctx context.Context, rq3 *RQ3Result) (*Table5Result, 
 		}
 		combinedAddrs := filterASN(combined.Slice(), db, world.PathologicalASN)
 
-		big, err := e.RunTGACtx(ctx, g, allActive, proto.ICMP, bigBudget)
-		if err != nil {
-			return nil, err
-		}
+		big := rs.Of(e.cell(g, TreatmentAllActive, proto.ICMP, bigBudget, 0))
 		res.Rows = append(res.Rows, Table5Row{
 			Generator:     g,
 			CombinedHits:  len(combinedAddrs),

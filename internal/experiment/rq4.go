@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"context"
-	"sync/atomic"
 
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/metrics"
@@ -32,6 +31,10 @@ func (e *Env) RunRQ4Ctx(ctx context.Context, protos []proto.Protocol, gens []str
 	if budget <= 0 {
 		budget = e.Cfg.Budget
 	}
+	rs, err := e.Grid().Run(ctx, e.SpecRQ4(protos, gens, budget))
+	if err != nil {
+		return nil, err
+	}
 	res := &RQ4Result{
 		Budget:   budget,
 		Gens:     gens,
@@ -39,32 +42,16 @@ func (e *Env) RunRQ4Ctx(ctx context.Context, protos []proto.Protocol, gens []str
 		HitOrder: make(map[proto.Protocol][]metrics.Contribution),
 		ASOrder:  make(map[proto.Protocol][]metrics.Contribution),
 	}
-	seedSet := e.AllActiveSeeds().SortedSlice()
 	db := e.World.ASDB()
-	total := len(protos) * len(gens)
-	var done atomic.Int64
 	for _, p := range protos {
 		res.Outcome[p] = make(map[string]metrics.Outcome)
 		hitSets := make(map[string]map[ipaddr.Addr]struct{}, len(gens))
 		asSets := make(map[string]map[int]struct{}, len(gens))
-		e.OutputDealiaser(p)
-		runs := make([]TGAResult, len(gens))
-		err := runParallel(ctx, e.Workers(), len(gens), func(ctx context.Context, i int) error {
-			r, err := e.RunTGACtx(ctx, gens[i], seedSet, p, budget)
-			if err != nil {
-				return err
-			}
-			runs[i] = r
-			e.Tele.Progress("RQ4", int(done.Add(1)), total)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		for i, g := range gens {
-			res.Outcome[p][g] = runs[i].Outcome
-			hitSets[g] = metrics.AddrSet(runs[i].Run.Hits)
-			asSets[g] = db.ASSet(runs[i].Run.Hits)
+		for _, g := range gens {
+			c := rs.Of(e.cell(g, TreatmentAllActive, p, budget, 0))
+			res.Outcome[p][g] = c.Outcome
+			hitSets[g] = metrics.AddrSet(c.Hits)
+			asSets[g] = db.ASSet(c.Hits)
 		}
 		res.HitOrder[p] = metrics.GreedyCover(hitSets)
 		res.ASOrder[p] = metrics.GreedyCover(asSets)
