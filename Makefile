@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scanner bench-cluster bench-tga bench-grid cover experiments clean
+.PHONY: all build vet test race bench bench-scanner bench-cluster bench-tga bench-grid bench-serve cover experiments clean
 
 all: vet build test
 
@@ -49,6 +49,14 @@ bench-tga:
 bench-grid:
 	$(GO) test -run '^TestWriteGridBenchBaseline$$' -count=1 -v \
 		-grid-bench-out BENCH_grid.json .
+
+# Regenerate the committed serve-daemon load baseline: client-observed
+# lookup latency quantiles, bulk lookup throughput, and snapshot open
+# time over a real build. Fails if lookup p99 exceeds 50ms or bulk
+# throughput drops below 10k addresses/sec.
+bench-serve:
+	$(GO) test -run '^TestWriteServeBenchBaseline$$' -count=1 -v \
+		-serve-bench-out BENCH_serve.json .
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -10,6 +10,8 @@
 //	run       run one TGA end-to-end (generate, scan, dealias, measure)
 //	scan      scan a dataset's addresses on one protocol
 //	dealias   split a dataset into clean and aliased addresses
+//	build-db  build a hitlist and publish it into a hitlistdb store
+//	serve     answer hitlist queries over HTTP from a hitlistdb store
 //	worker    serve shards to a cluster coordinator over TCP
 //
 // scan can also coordinate a sharded cluster scan: -cluster-workers N
@@ -66,6 +68,10 @@ func main() {
 		err = cmdDealias(args)
 	case "hitlist":
 		err = cmdHitlist(args)
+	case "build-db":
+		err = cmdBuildDB(args)
+	case "serve":
+		err = cmdServe(args)
 	case "resolve":
 		err = cmdResolve(args)
 	case "worker":
@@ -93,6 +99,8 @@ commands:
   scan      scan a dataset's addresses on one protocol
   dealias   split a dataset into clean and aliased addresses
   hitlist   run the full hitlist-service pipeline and publish artifacts
+  build-db  build a hitlist and publish it into a hitlistdb store directory
+  serve     answer hitlist queries over HTTP from a hitlistdb store
   resolve   simulate a ZDNS AAAA-resolution campaign over synthetic domains
   worker    serve shards to a cluster coordinator over TCP
 
@@ -512,11 +520,11 @@ func cmdHitlist(args []string) error {
 	fs.Parse(args)
 
 	env := buildEnv(*seed, *ases, *scale, 0)
-	svc, err := hitlist.New(hitlist.Config{
-		Prober:       env.Scanner,
-		KnownAliases: env.Offline,
-		Seed:         *seed,
-	})
+	svc, err := hitlist.New(
+		hitlist.WithProber(env.Scanner),
+		hitlist.WithKnownAliases(env.Offline),
+		hitlist.WithSeed(*seed),
+	)
 	if err != nil {
 		return err
 	}

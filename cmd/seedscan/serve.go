@@ -1,0 +1,155 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"time"
+
+	"seedscan/internal/hitlist"
+	"seedscan/internal/hitlistdb"
+	"seedscan/internal/seeds"
+	"seedscan/internal/serve"
+)
+
+// cmdBuildDB runs the hitlist pipeline over every seed source and publishes
+// the result as the next generation of a hitlistdb store directory — the
+// producer half of the hitlist service. Re-running it against the same
+// directory publishes a new generation; a concurrent `seedscan serve -watch`
+// daemon picks it up without restarting.
+func cmdBuildDB(args []string) error {
+	fs := flag.NewFlagSet("build-db", flag.ExitOnError)
+	seed, ases, scale := envFlags(fs)
+	trace, metrics := teleFlags(fs)
+	dir := fs.String("dir", "hitlistdb", "store directory to publish into")
+	keep := fs.Int("keep", 3, "generation files to retain on disk")
+	fs.Parse(args)
+
+	tr, finish, err := newTracer(*trace, *metrics)
+	if err != nil {
+		return err
+	}
+	defer finish()
+	ctx, stop := signalContext()
+	defer stop()
+
+	env := buildEnvTele(*seed, *ases, *scale, 0, tr)
+	svc, err := hitlist.New(
+		hitlist.WithProber(env.Scanner),
+		hitlist.WithKnownAliases(env.Offline),
+		hitlist.WithSeed(*seed),
+		hitlist.WithTelemetry(tr.Registry()),
+	)
+	if err != nil {
+		return err
+	}
+	inputs := make([]*seeds.Dataset, 0, len(env.Sources))
+	for _, src := range seeds.AllSources {
+		inputs = append(inputs, env.Sources[src])
+	}
+	snap, err := svc.BuildContext(ctx, inputs...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(snap.Summary())
+
+	st, err := hitlistdb.OpenStore(*dir,
+		hitlistdb.KeepGenerations(*keep),
+		hitlistdb.StoreTelemetry(tr.Registry()))
+	if err != nil {
+		return err
+	}
+	db, err := st.Publish(snap)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published generation %d to %s (%d records, %d aliased prefixes, %d bytes)\n",
+		db.Generation(), *dir, db.AddrCount(), db.PrefixCount(), len(db.Bytes()))
+	return nil
+}
+
+// cmdServe runs the hitlist query daemon over a store directory published
+// by build-db. With -watch it polls the manifest and atomically swaps in
+// new generations while continuing to serve; in-flight requests finish on
+// the generation they started on.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	trace, metrics := teleFlags(fs)
+	dir := fs.String("dir", "hitlistdb", "store directory to serve")
+	addr := fs.String("addr", "127.0.0.1:8674", "listen address")
+	watch := fs.Duration("watch", 0, "poll the store for new generations at this interval (0 = off)")
+	maxBulk := fs.Int("max-bulk", 4096, "maximum addresses per /v1/bulk request")
+	maxWalk := fs.Int("max-walk", 65536, "maximum records per /v1/prefix-walk response")
+	fs.Parse(args)
+
+	tr, finish, err := newTracer(*trace, *metrics)
+	if err != nil {
+		return err
+	}
+	defer finish()
+
+	st, err := hitlistdb.OpenStore(*dir, hitlistdb.StoreTelemetry(tr.Registry()))
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(st,
+		serve.WithTelemetry(tr.Registry()),
+		serve.WithMaxBulk(*maxBulk),
+		serve.WithMaxWalk(*maxWalk))
+	if err != nil {
+		return err
+	}
+	if gen := st.Generation(); gen > 0 {
+		fmt.Printf("serving generation %d from %s on %s\n", gen, *dir, *addr)
+	} else {
+		fmt.Printf("store %s is empty; serving 503s on %s until a build is published\n", *dir, *addr)
+	}
+
+	ctx, stop := signalContext()
+	defer stop()
+	return runServe(ctx, *addr, srv, st, *watch)
+}
+
+// runServe is the daemon loop behind cmdServe, split out so tests can drive
+// it with their own context and listen address.
+func runServe(ctx context.Context, addr string, handler http.Handler, st *hitlistdb.Store, watch time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: handler}
+
+	if watch > 0 {
+		go func() {
+			tick := time.NewTicker(watch)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if db, swapped, err := st.Refresh(); err != nil {
+						fmt.Printf("refresh: %v\n", err)
+					} else if swapped {
+						fmt.Printf("swapped in generation %d (%d records)\n", db.Generation(), db.AddrCount())
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

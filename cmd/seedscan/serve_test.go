@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"seedscan/internal/hitlistdb"
+	"seedscan/internal/serve"
+)
+
+func TestCmdBuildDB(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	args := append([]string{"-dir", dir}, smallEnv...)
+	if err := cmdBuildDB(args); err != nil {
+		t.Fatal(err)
+	}
+	st, err := hitlistdb.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := st.Current()
+	if db == nil || db.Generation() != 1 || db.AddrCount() == 0 {
+		t.Fatalf("build-db published nothing usable: %+v", db)
+	}
+
+	// A second build publishes generation 2.
+	if err := cmdBuildDB(args); err != nil {
+		t.Fatal(err)
+	}
+	if _, swapped, err := st.Refresh(); err != nil || !swapped {
+		t.Fatalf("refresh after rebuild: swapped=%v err=%v", swapped, err)
+	}
+	if st.Generation() != 2 {
+		t.Fatalf("generation after rebuild = %d", st.Generation())
+	}
+}
+
+// TestRunServeEndToEnd drives the daemon loop the way cmdServe does:
+// build-db publishes, runServe serves, a watch tick picks up a second
+// publish, and context cancellation shuts the daemon down cleanly.
+func TestRunServeEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := cmdBuildDB(append([]string{"-dir", dir}, smallEnv...)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Daemon's own store handle (the watch target)...
+	st, err := hitlistdb.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and an independent writer handle, as in a real deployment.
+	writer, err := hitlistdb.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- runServe(ctx, addr, srv, st, 20*time.Millisecond) }()
+
+	base := "http://" + addr
+	waitGeneration(t, base, 1)
+
+	if _, err := writer.Publish(st.Current().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	waitGeneration(t, base, 2)
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe exited with %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runServe did not shut down")
+	}
+}
+
+// waitGeneration polls healthz until the daemon serves generation want.
+func waitGeneration(t *testing.T, base string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			var body struct {
+				Generation uint64 `json:"generation"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err == nil && body.Generation == want {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon never served generation %d", want)
+}
+
+func TestCmdServeBadDir(t *testing.T) {
+	// A file where the store directory should be must fail fast.
+	f := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdServe([]string{"-dir", f}); err == nil {
+		t.Fatal("serve accepted a non-directory store")
+	}
+}

@@ -11,9 +11,13 @@
 // seedscan can regenerate hitlist-style artifacts from any world, and the
 // staleness phenomenon reappears whenever the world's epoch advances
 // between builds.
+//
+// Snapshots are served on disk by internal/hitlistdb and over HTTP by
+// internal/serve; a build is published with hitlistdb.Store.Publish.
 package hitlist
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -22,6 +26,7 @@ import (
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
 	"seedscan/internal/seeds"
+	"seedscan/internal/telemetry"
 )
 
 // Prober is the scanning dependency (satisfied by *scanner.Scanner).
@@ -29,14 +34,12 @@ type Prober interface {
 	ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr
 }
 
-// Config assembles a Service.
-type Config struct {
-	// Prober verifies responsiveness and powers the online alias test.
-	Prober Prober
-	// KnownAliases seeds the alias filter (may be nil).
-	KnownAliases *alias.OfflineList
-	// Seed keys the online dealiaser's probe generation.
-	Seed uint64
+// ContextProber is the cancellable prober variant. When the configured
+// Prober also implements it (as *scanner.Scanner does), BuildContext scans
+// through it so cancellation lands mid-scan instead of only between
+// pipeline stages.
+type ContextProber interface {
+	ScanActiveContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]ipaddr.Addr, error)
 }
 
 // Snapshot is one published hitlist build.
@@ -59,31 +62,66 @@ type Snapshot struct {
 
 // Service builds hitlist snapshots.
 type Service struct {
-	cfg Config
+	set settings
 }
 
-// New returns a Service. Prober must be non-nil.
-func New(cfg Config) (*Service, error) {
-	if cfg.Prober == nil {
+// New returns a Service configured by opts. A prober (WithProber) is
+// required.
+func New(opts ...Option) (*Service, error) {
+	set := defaultSettings()
+	for _, o := range opts {
+		o(&set)
+	}
+	if set.prober == nil {
 		return nil, fmt.Errorf("hitlist: prober required")
 	}
-	return &Service{cfg: cfg}, nil
+	return &Service{set: set}, nil
 }
 
-// Build runs the full pipeline over the given source datasets.
+// Build runs the full pipeline over the given source datasets. It is the
+// context-free wrapper for BuildContext.
 func (s *Service) Build(sources ...*seeds.Dataset) (*Snapshot, error) {
+	return s.BuildContext(context.Background(), sources...)
+}
+
+// BuildContext runs the full pipeline over the given source datasets:
+// aggregate, dealias (two-tier), verify responsiveness per protocol, and
+// publish the aliased-prefix artifact. Cancelling ctx stops the build at
+// the next stage boundary (or mid-scan when the prober implements
+// ContextProber) and returns ctx's error; no partial snapshot is returned.
+//
+// Sources may be empty datasets: the result is a valid, empty snapshot.
+// Calling with no sources at all is an error — it is almost always a bug
+// at the call site.
+func (s *Service) BuildContext(ctx context.Context, sources ...*seeds.Dataset) (*Snapshot, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("hitlist: no input sources")
 	}
+	ctx, span := telemetry.StartSpan(ctx, "hitlist.build", telemetry.Attrs{"sources": len(sources)})
+	defer span.End()
+	timer := s.set.tele.StartTimer("hitlist.build.seconds")
+	defer timer.Stop()
+
 	// 1. Aggregate and deduplicate.
 	input := ipaddr.NewSet()
 	for _, src := range sources {
 		input.AddSet(src.Addrs)
 	}
+	s.set.tele.Counter("hitlist.builds").Inc()
+	s.set.tele.Counter("hitlist.input_addrs").Add(int64(input.Len()))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// 2. Two-tier dealiasing over the whole input.
-	d := alias.New(alias.ModeJoint, s.cfg.KnownAliases, s.cfg.Prober, proto.ICMP, s.cfg.Seed)
+	dspan := span.Child("hitlist.dealias", nil)
+	d := alias.New(alias.ModeJoint, s.set.known, s.set.prober, proto.ICMP, s.set.seed)
+	d.SetTelemetry(s.set.tele)
 	clean, aliased := d.Split(input.Slice())
+	dspan.EndWith(telemetry.Attrs{"clean": len(clean), "aliased": len(aliased)})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	snap := &Snapshot{
 		BuiltAt:      time.Now(),
@@ -94,11 +132,22 @@ func (s *Service) Build(sources ...*seeds.Dataset) (*Snapshot, error) {
 
 	// 3. Verify responsiveness per protocol.
 	for _, p := range proto.All {
-		active := s.cfg.Prober.ScanActive(append([]ipaddr.Addr(nil), clean...), p)
+		vspan := span.Child("hitlist.verify", telemetry.Attrs{"proto": p.String()})
+		active, err := s.scanActive(ctx, clean, p)
+		if err != nil {
+			vspan.End()
+			return nil, err
+		}
 		set := ipaddr.NewSet(active...)
 		snap.PerProtocol[p] = set
 		snap.Responsive.AddSet(set)
+		vspan.EndWith(telemetry.Attrs{"active": set.Len()})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
+	s.set.tele.Counter("hitlist.responsive_addrs").Add(int64(snap.Responsive.Len()))
+	s.set.tele.Counter("hitlist.aliased_addrs").Add(int64(snap.AliasedAddrs))
 
 	// 4. Publish the aliased prefixes: every /96 the online test flagged
 	// plus the known list's contribution, deduplicated and sorted.
@@ -110,25 +159,48 @@ func (s *Service) Build(sources ...*seeds.Dataset) (*Snapshot, error) {
 	for p := range prefixSet {
 		snap.AliasedPrefixes = append(snap.AliasedPrefixes, p)
 	}
-	sort.Slice(snap.AliasedPrefixes, func(i, j int) bool {
-		a, b := snap.AliasedPrefixes[i], snap.AliasedPrefixes[j]
+	SortPrefixes(snap.AliasedPrefixes)
+	s.set.tele.Counter("hitlist.aliased_prefixes").Add(int64(len(snap.AliasedPrefixes)))
+	return snap, nil
+}
+
+// scanActive verifies one protocol, through the cancellable path when the
+// prober offers one. The target slice is copied because scanners shuffle
+// their input plan in place.
+func (s *Service) scanActive(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]ipaddr.Addr, error) {
+	dup := append([]ipaddr.Addr(nil), targets...)
+	if cp, ok := s.set.prober.(ContextProber); ok {
+		return cp.ScanActiveContext(ctx, dup, p)
+	}
+	return s.set.prober.ScanActive(dup, p), nil
+}
+
+// SortPrefixes sorts prefixes by (base address, bits) — the canonical
+// published order of the aliased-prefix artifact.
+func SortPrefixes(prefixes []ipaddr.Prefix) {
+	sort.Slice(prefixes, func(i, j int) bool {
+		a, b := prefixes[i], prefixes[j]
 		if a.Addr() != b.Addr() {
 			return a.Addr().Less(b.Addr())
 		}
 		return a.Bits() < b.Bits()
 	})
-	return snap, nil
 }
 
 // ResponsiveDataset exports the responsive list as a named dataset (for
 // file output or as TGA seeds).
 func (s *Snapshot) ResponsiveDataset() *seeds.Dataset {
-	return seeds.FromSet("hitlist-responsive", s.Responsive)
+	set := s.Responsive
+	if set == nil {
+		set = ipaddr.NewSet()
+	}
+	return seeds.FromSet("hitlist-responsive", set)
 }
 
 // ResponsiveFraction reports what share of the (dealiased) input was
 // responsive — the freshness figure §6.2 puts at 84% for the real
-// service.
+// service. An empty build (no input, or everything aliased) reports 0
+// rather than dividing by zero.
 func (s *Snapshot) ResponsiveFraction() float64 {
 	clean := s.Input - s.AliasedAddrs
 	if clean <= 0 {
@@ -137,7 +209,8 @@ func (s *Snapshot) ResponsiveFraction() float64 {
 	return float64(s.Responsive.Len()) / float64(clean)
 }
 
-// Summary renders a one-build report.
+// Summary renders a one-build report. It is safe on an empty or zero-value
+// snapshot (nil sets read as empty).
 func (s *Snapshot) Summary() string {
 	out := fmt.Sprintf("hitlist build: %d input, %d aliased discarded (%d prefixes), %d responsive (%.1f%% of clean)\n",
 		s.Input, s.AliasedAddrs, len(s.AliasedPrefixes), s.Responsive.Len(), 100*s.ResponsiveFraction())

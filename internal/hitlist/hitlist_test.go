@@ -1,6 +1,7 @@
 package hitlist
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
 	"seedscan/internal/seeds"
+	"seedscan/internal/telemetry"
 	"seedscan/internal/world"
 )
 
@@ -22,25 +24,72 @@ func buildEnv(t testing.TB) (*world.World, *scanner.Scanner, map[seeds.Source]*s
 }
 
 func TestNewRequiresProber(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
+	if _, err := New(); err == nil {
 		t.Fatal("nil prober accepted")
+	}
+	if _, err := New(WithSeed(1), WithTelemetry(telemetry.NewRegistry())); err == nil {
+		t.Fatal("option set without prober accepted")
 	}
 }
 
 func TestBuildRequiresSources(t *testing.T) {
 	_, sc, _ := buildEnv(t)
-	svc, err := New(Config{Prober: sc, Seed: 1})
+	svc, err := New(WithProber(sc), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := svc.Build(); err == nil {
-		t.Fatal("empty build accepted")
+		t.Fatal("zero-source build accepted")
+	}
+}
+
+// TestBuildEmptyInput pins the empty-build contract: sources with zero
+// addresses produce a valid empty snapshot, and Summary and
+// ResponsiveFraction stay finite instead of dividing by zero.
+func TestBuildEmptyInput(t *testing.T) {
+	_, sc, _ := buildEnv(t)
+	svc, err := New(WithProber(sc), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := svc.Build(seeds.NewDataset("empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Input != 0 || snap.Responsive.Len() != 0 || snap.AliasedAddrs != 0 {
+		t.Fatalf("empty build produced %+v", snap)
+	}
+	if f := snap.ResponsiveFraction(); f != 0 {
+		t.Fatalf("ResponsiveFraction on empty build = %v, want 0", f)
+	}
+	if sum := snap.Summary(); !strings.Contains(sum, "0 input") {
+		t.Fatalf("Summary on empty build: %q", sum)
+	}
+	for _, p := range proto.All {
+		if snap.PerProtocol[p].Len() != 0 {
+			t.Fatalf("%v set non-empty on empty build", p)
+		}
+	}
+}
+
+// TestZeroSnapshotIsReadable pins that a zero-value Snapshot (as a decoder
+// might leave one) renders without panicking: nil sets read as empty.
+func TestZeroSnapshotIsReadable(t *testing.T) {
+	var snap Snapshot
+	if f := snap.ResponsiveFraction(); f != 0 {
+		t.Fatalf("zero snapshot fraction = %v", f)
+	}
+	if sum := snap.Summary(); !strings.Contains(sum, "hitlist build") {
+		t.Fatalf("zero snapshot summary = %q", sum)
+	}
+	if n := snap.ResponsiveDataset().Len(); n != 0 {
+		t.Fatalf("zero snapshot dataset has %d addrs", n)
 	}
 }
 
 func TestBuildPipeline(t *testing.T) {
 	w, sc, srcs := buildEnv(t)
-	svc, err := New(Config{Prober: sc, Seed: 1})
+	svc, err := New(WithProber(sc), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,13 +135,83 @@ func TestBuildPipeline(t *testing.T) {
 	}
 }
 
+// TestConfigAdapterMatchesOptions pins the deprecated NewWithConfig
+// adapter: a Config-built service must produce the identical snapshot to
+// the equivalent option-built one.
+func TestConfigAdapterMatchesOptions(t *testing.T) {
+	w, sc, srcs := buildEnv(t)
+	known := alias.NewOfflineList(w.AliasedPrefixes())
+	oldSvc, err := NewWithConfig(Config{Prober: sc, KnownAliases: known, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSvc, err := New(WithProber(sc), WithKnownAliases(known), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSnap, err := oldSvc.Build(srcs[seeds.SourceHitlist])
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSnap, err := newSvc.Build(srcs[seeds.SourceHitlist])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldSnap.Input != newSnap.Input ||
+		oldSnap.AliasedAddrs != newSnap.AliasedAddrs ||
+		oldSnap.Responsive.Len() != newSnap.Responsive.Len() ||
+		len(oldSnap.AliasedPrefixes) != len(newSnap.AliasedPrefixes) {
+		t.Fatalf("adapter diverges from options:\n old %s\n new %s", oldSnap.Summary(), newSnap.Summary())
+	}
+	if _, err := NewWithConfig(Config{}); err == nil {
+		t.Fatal("adapter accepted nil prober")
+	}
+}
+
+func TestBuildContextCancellation(t *testing.T) {
+	_, sc, srcs := buildEnv(t)
+	svc, err := New(WithProber(sc), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.BuildContext(ctx, srcs[seeds.SourceHitlist]); err == nil {
+		t.Fatal("cancelled build returned a snapshot")
+	} else if !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBuildTelemetry(t *testing.T) {
+	_, sc, srcs := buildEnv(t)
+	reg := telemetry.NewRegistry()
+	svc, err := New(WithProber(sc), WithSeed(1), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := svc.Build(srcs[seeds.SourceHitlist])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("hitlist.builds").Load(); n != 1 {
+		t.Fatalf("hitlist.builds = %d", n)
+	}
+	if n := reg.Counter("hitlist.responsive_addrs").Load(); n != int64(snap.Responsive.Len()) {
+		t.Fatalf("hitlist.responsive_addrs = %d, want %d", n, snap.Responsive.Len())
+	}
+	if reg.Histogram("hitlist.build.seconds").Stats().Count != 1 {
+		t.Fatal("build duration not observed")
+	}
+}
+
 func TestKnownAliasesSaveProbes(t *testing.T) {
 	w, sc, srcs := buildEnv(t)
 	known := alias.NewOfflineList(w.AliasedPrefixes())
 
 	build := func(list *alias.OfflineList) int64 {
 		before := sc.Stats().PacketsSent.Load()
-		svc, err := New(Config{Prober: sc, KnownAliases: list, Seed: 2})
+		svc, err := New(WithProber(sc), WithKnownAliases(list), WithSeed(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +232,7 @@ func TestStalenessAcrossEpochs(t *testing.T) {
 	// part of the published list stale — §6.2's 16% phenomenon.
 	w, sc, srcs := buildEnv(t)
 	w.SetEpoch(world.CollectEpoch)
-	svc, err := New(Config{Prober: sc, Seed: 3})
+	svc, err := New(WithProber(sc), WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}

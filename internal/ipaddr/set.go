@@ -3,7 +3,10 @@ package ipaddr
 import "sort"
 
 // Set is an unordered collection of unique addresses. The zero value is not
-// usable; construct with NewSet or make via NewSetCap.
+// usable for writes; construct with NewSet or NewSetCap. Read methods
+// (Contains, Len, Each, Slice, Sorted) are nil-receiver safe and treat a
+// nil set as empty, so snapshot consumers can read partially-populated
+// records without guarding every access.
 type Set struct {
 	m map[Addr]struct{}
 }
@@ -36,8 +39,11 @@ func (s *Set) AddAll(addrs []Addr) {
 	}
 }
 
-// AddSet inserts every address in o.
+// AddSet inserts every address in o (a nil o adds nothing).
 func (s *Set) AddSet(o *Set) {
+	if o == nil {
+		return
+	}
 	for a := range o.m {
 		s.m[a] = struct{}{}
 	}
@@ -46,17 +52,28 @@ func (s *Set) AddSet(o *Set) {
 // Remove deletes a if present.
 func (s *Set) Remove(a Addr) { delete(s.m, a) }
 
-// Contains reports membership.
+// Contains reports membership (false for a nil set).
 func (s *Set) Contains(a Addr) bool {
+	if s == nil {
+		return false
+	}
 	_, ok := s.m[a]
 	return ok
 }
 
-// Len returns the number of addresses.
-func (s *Set) Len() int { return len(s.m) }
+// Len returns the number of addresses (0 for a nil set).
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.m)
+}
 
 // Each calls fn for every address in unspecified order.
 func (s *Set) Each(fn func(Addr)) {
+	if s == nil {
+		return
+	}
 	for a := range s.m {
 		fn(a)
 	}
@@ -64,6 +81,9 @@ func (s *Set) Each(fn func(Addr)) {
 
 // Slice returns the addresses in unspecified order.
 func (s *Set) Slice() []Addr {
+	if s == nil {
+		return nil
+	}
 	out := make([]Addr, 0, len(s.m))
 	for a := range s.m {
 		out = append(out, a)

@@ -433,6 +433,22 @@ func (s *Scanner) ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.A
 	return out
 }
 
+// ScanActiveContext is the cancellable variant of ScanActive: it scans
+// through ScanContext and returns only hit addresses, or ctx's error.
+func (s *Scanner) ScanActiveContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]ipaddr.Addr, error) {
+	results, err := s.ScanContext(ctx, targets, p)
+	if err != nil {
+		return nil, err
+	}
+	var out []ipaddr.Addr
+	for _, r := range results {
+		if r.Active() {
+			out = append(out, r.Addr)
+		}
+	}
+	return out, nil
+}
+
 // probeOne sends up to 1+retries probes to one target and classifies the
 // outcome — the unbatched path for links without ExchangeBatch.
 func (s *Scanner) probeOne(w *workerState, dst ipaddr.Addr, p proto.Protocol, sent *atomic.Int64) Result {
