@@ -33,7 +33,7 @@ import (
 
 // tgaBenchGens are the offline generators the driver pipelines; the
 // online TGAs run lockstep by design and are not part of this bench.
-var tgaBenchGens = []string{"EIP", "6Gen", "6Tree", "6Graph"}
+var tgaBenchGens = []string{"EIP", "6Gen", "6Tree", "6Graph", "6Prob"}
 
 // tgaBenchWorld builds the bench fixture: a mid-sized world and a seed
 // set large enough that model mining is a real cost (and large enough to

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	experiments [-budget N] [-ases N] [-scale F] [-seed N] [-run LIST]
-//	            [-only LIST] [-resume DIR] [-list-cells]
+//	            [-only LIST] [-resume DIR] [-list-cells] [-gens SET]
+//
+// -gens picks the generator sweep: "paper" (default, the eight studied
+// TGAs), "extended" (adds AddrMiner and 6Prob), or an explicit
+// comma-separated list.
 //
 // where LIST is a comma-separated subset of:
 // table1,table3,table4,table5,table6,fig1,fig2,fig3,fig4,fig5,fig6,fig7,
@@ -41,6 +45,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "world seed")
 	runList := flag.String("run", "all", "comma-separated experiments to run")
 	protosFlag := flag.String("protos", "icmp", "protocols for the TGA sweeps (comma-separated, or 'all')")
+	gensFlag := flag.String("gens", "paper", "generators to sweep: 'paper' (the study set), 'extended' (adds AddrMiner and 6Prob), or a comma-separated list")
 	trace := flag.String("trace", "", "write a JSONL telemetry event log to this file")
 	metrics := flag.Bool("metrics", false, "print final metric values on exit")
 	clusterWorkers := flag.Int("cluster-workers", 0, "fan scanning out across N in-process cluster workers (results unchanged)")
@@ -77,9 +82,26 @@ func main() {
 		}
 	}
 
+	gens := all.Names
+	switch *gensFlag {
+	case "paper":
+	case "extended":
+		gens = all.ExtendedNames
+	default:
+		gens = nil
+		for _, s := range strings.Split(*gensFlag, ",") {
+			name := strings.TrimSpace(s)
+			if _, err := all.New(name); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			gens = append(gens, name)
+		}
+	}
+
 	start := time.Now()
-	fmt.Printf("# seedscan experiments — budget=%d ases=%d scale=%g seed=%d\n\n",
-		*budget, *ases, *scale, *seed)
+	fmt.Printf("# seedscan experiments — budget=%d ases=%d scale=%g seed=%d gens=%s\n\n",
+		*budget, *ases, *scale, *seed, *gensFlag)
 
 	var sinks []telemetry.Sink
 	if *trace != "" {
@@ -107,7 +129,6 @@ func main() {
 		Telemetry: tr, ClusterWorkers: *clusterWorkers, GridStore: store,
 	})
 
-	gens := all.Names
 	if *listCells {
 		printCellPlan(env, sel, protos, gens, *budget, store)
 		return

@@ -257,10 +257,11 @@ func cmdCollect(args []string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seed, ases, scale := envFlags(fs)
-	gen := fs.String("tga", "6Tree", "generator: "+strings.Join(all.Names, ", "))
+	gen := fs.String("tga", "6Tree", "generator: "+strings.Join(all.ExtendedNames, ", "))
 	protoName := fs.String("proto", "icmp", "protocol: icmp, tcp80, tcp443, udp53")
 	budget := fs.Int("budget", 20000, "generation budget")
 	dataset := fs.String("seeds", "allactive", "seed treatment: full, dealiased, allactive, port")
+	dealias := fs.String("dealias", "joint", "dealias mode for -seeds dealiased: none, offline, online, joint, cooldown")
 	checkpoint := fs.String("checkpoint", "", "checkpoint the run as a grid cell in this JSONL store (reruns load instead of scanning)")
 	trace, metrics := teleFlags(fs)
 	fs.Parse(args)
@@ -295,7 +296,11 @@ func cmdRun(args []string) error {
 	case "full":
 		treatment = experiment.TreatmentFull
 	case "dealiased":
-		treatment = experiment.TreatmentDealiased(alias.ModeJoint)
+		mode, err := alias.ParseMode(*dealias)
+		if err != nil {
+			return err
+		}
+		treatment = experiment.TreatmentDealiased(mode)
 	case "allactive":
 		treatment = experiment.TreatmentAllActive
 	case "port":
@@ -476,22 +481,13 @@ func cmdDealias(args []string) error {
 	fs := flag.NewFlagSet("dealias", flag.ExitOnError)
 	seed, ases, scale := envFlags(fs)
 	src := fs.String("source", "AddrMiner", "seed source to dealias")
-	modeName := fs.String("mode", "joint", "mode: none, offline, online, joint")
+	modeName := fs.String("mode", "joint", "mode: none, offline, online, joint, cooldown")
 	trace, metrics := teleFlags(fs)
 	fs.Parse(args)
 
-	var mode alias.Mode
-	switch *modeName {
-	case "none":
-		mode = alias.ModeNone
-	case "offline":
-		mode = alias.ModeOffline
-	case "online":
-		mode = alias.ModeOnline
-	case "joint":
-		mode = alias.ModeJoint
-	default:
-		return fmt.Errorf("unknown mode %q", *modeName)
+	mode, err := alias.ParseMode(*modeName)
+	if err != nil {
+		return err
 	}
 	s, err := parseSource(*src)
 	if err != nil {

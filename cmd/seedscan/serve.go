@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"os"
 	"time"
 
 	"seedscan/internal/hitlist"
@@ -117,17 +118,23 @@ func cmdServe(args []string) error {
 func runServe(ctx context.Context, addr string, handler http.Handler, st *hitlistdb.Store, watch time.Duration) error {
 	hs := &http.Server{Addr: addr, Handler: handler}
 
+	// The watcher's lifetime is tied to runServe itself, not the parent
+	// context: when ListenAndServe fails immediately (port in use) the
+	// ticker goroutine must die with the call, not poll until the caller
+	// cancels.
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
 	if watch > 0 {
 		go func() {
 			tick := time.NewTicker(watch)
 			defer tick.Stop()
 			for {
 				select {
-				case <-ctx.Done():
+				case <-wctx.Done():
 					return
 				case <-tick.C:
 					if db, swapped, err := st.Refresh(); err != nil {
-						fmt.Printf("refresh: %v\n", err)
+						fmt.Fprintf(os.Stderr, "refresh: %v\n", err)
 					} else if swapped {
 						fmt.Printf("swapped in generation %d (%d records)\n", db.Generation(), db.AddrCount())
 					}

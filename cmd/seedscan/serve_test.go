@@ -12,6 +12,7 @@ import (
 
 	"seedscan/internal/hitlistdb"
 	"seedscan/internal/serve"
+	"seedscan/internal/telemetry"
 )
 
 func TestCmdBuildDB(t *testing.T) {
@@ -114,6 +115,56 @@ func waitGeneration(t *testing.T, base string, want uint64) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("daemon never served generation %d", want)
+}
+
+// TestRunServeListenFailureStopsWatcher is the regression test for the
+// -watch goroutine leak: when ListenAndServe fails immediately (port in
+// use), runServe returns an error, and the refresh ticker must die with
+// it instead of polling until the parent context is cancelled. The store's
+// refresh counter is the watcher's observable heartbeat. Run under -race.
+func TestRunServeListenFailureStopsWatcher(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := cmdBuildDB(append([]string{"-dir", dir}, smallEnv...)); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	st, err := hitlistdb.OpenStore(dir, hitlistdb.StoreTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the port so ListenAndServe fails at once.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// The parent context stays live: only runServe's return may stop the
+	// watcher.
+	const watch = 5 * time.Millisecond
+	err = runServe(context.Background(), ln.Addr().String(), srv, st, watch)
+	if err == nil {
+		t.Fatal("runServe succeeded on an occupied port")
+	}
+
+	refreshes := func() int64 { return reg.Snapshot().Counters["hitlistdb.store.refreshes"] }
+	// Let any leaked ticker fire many times; the count must settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		before := refreshes()
+		time.Sleep(20 * watch)
+		if refreshes() == before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch goroutine still refreshing after runServe returned")
+		}
+	}
 }
 
 func TestCmdServeBadDir(t *testing.T) {

@@ -1,10 +1,12 @@
 // Package seedscan reproduces "Seeds of Scanning: Exploring the Effects of
 // Datasets, Methods, and Metrics on IPv6 Internet Scanning" (Williams &
-// Pearce, IMC 2024) as a self-contained Go system: eight Target Generation
-// Algorithms, a Scanv6-style wire-format scanner, two-tier dealiasing,
+// Pearce, IMC 2024) as a self-contained Go system: the paper's eight
+// Target Generation Algorithms (plus two extended-set TGAs, AddrMiner and
+// 6Prob), a Scanv6-style wire-format scanner, multi-mode dealiasing,
 // twelve seed-source collectors, the paper's metrics, and an experiment
 // harness regenerating every table and figure — all running against a
-// deterministic simulated IPv6 Internet instead of live scans.
+// deterministic simulated IPv6 Internet instead of live scans. See
+// internal/tga/all for the paper-set versus extended-set distinction.
 //
 // The root package carries the module documentation and the benchmark
 // harness (bench_test.go); the implementation lives under internal/ and

@@ -10,9 +10,15 @@
 //     it is discarded.
 //   - Joint: offline first (free), then online for the rest — the
 //     configuration the paper recommends.
+//   - Cooldown: a non-saturating detector beyond the paper's pair (see
+//     cooldown.go). Instead of 3-probing every new /96 up front, it
+//     tracks per-prefix response density during scanning and only
+//     confirms prefixes that answer suspiciously often, cooling them
+//     down (discarding further addresses) once confirmed aliased.
 package alias
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -33,7 +39,7 @@ const (
 )
 
 // Mode selects a dealiasing treatment; the RQ1.a experiment sweeps all
-// four.
+// of them.
 type Mode uint8
 
 const (
@@ -41,6 +47,7 @@ const (
 	ModeOffline
 	ModeOnline
 	ModeJoint
+	ModeCooldown
 )
 
 // String names the mode using the paper's D_* notation.
@@ -54,17 +61,30 @@ func (m Mode) String() string {
 		return "online"
 	case ModeJoint:
 		return "joint"
+	case ModeCooldown:
+		return "cooldown"
 	}
 	return "mode?"
 }
 
-// Modes lists all treatments in Table 4 order.
-var Modes = []Mode{ModeNone, ModeOffline, ModeOnline, ModeJoint}
+// Modes lists all treatments in Table 4 order: the paper's four, then
+// the cool-down extension.
+var Modes = []Mode{ModeNone, ModeOffline, ModeOnline, ModeJoint, ModeCooldown}
+
+// ParseMode resolves a treatment name as printed by Mode.String.
+func ParseMode(name string) (Mode, error) {
+	for _, m := range Modes {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return ModeNone, fmt.Errorf("alias: unknown dealias mode %q", name)
+}
 
 // OfflineList is a static set of known aliased prefixes.
 type OfflineList struct {
-	trie *ipaddr.Trie
-	n    int
+	trie     *ipaddr.Trie
+	prefixes []ipaddr.Prefix
 }
 
 // NewOfflineList builds a list from known aliased prefixes.
@@ -73,11 +93,15 @@ func NewOfflineList(prefixes []ipaddr.Prefix) *OfflineList {
 	for _, p := range prefixes {
 		t.Insert(p, true)
 	}
-	return &OfflineList{trie: t, n: len(prefixes)}
+	return &OfflineList{trie: t, prefixes: append([]ipaddr.Prefix(nil), prefixes...)}
 }
 
 // Len returns the number of listed prefixes.
-func (l *OfflineList) Len() int { return l.n }
+func (l *OfflineList) Len() int { return len(l.prefixes) }
+
+// Prefixes returns the listed prefixes (read-only) — the structural input
+// for cool-down candidate generation.
+func (l *OfflineList) Prefixes() []ipaddr.Prefix { return l.prefixes }
 
 // Contains reports whether a falls in a listed aliased prefix.
 func (l *OfflineList) Contains(a ipaddr.Addr) bool { return l.trie.Contains(a) }
@@ -106,18 +130,29 @@ type Dealiaser struct {
 	tested   int
 	rngSeed  uint64
 
+	// Cool-down state (ModeCooldown only): per-/96 observation counts,
+	// the density at which a prefix is confirmed, and the candidate
+	// prefixes (known aliases plus structural siblings) that are
+	// confirmed on first sight. See cooldown.go.
+	density    map[ipaddr.Prefix]int
+	trigger    int
+	candidates *ipaddr.Trie
+
 	// Telemetry counters; all nil-safe, so an unwired Dealiaser pays only
-	// a no-op method call.
+	// a no-op method call. Guarded by mu: SetTelemetry may race with
+	// in-flight Splits, so writers and readers synchronize on the same
+	// lock (the counters themselves are atomic once read).
 	cCacheHit   *telemetry.Counter
 	cCacheMiss  *telemetry.Counter
 	cTested     *telemetry.Counter
 	cProbesSent *telemetry.Counter
+	cCooled     *telemetry.Counter
 }
 
 // New builds a Dealiaser. offline may be nil for ModeNone/ModeOnline;
 // prober may be nil for ModeNone/ModeOffline.
 func New(mode Mode, offline *OfflineList, prober Prober, p proto.Protocol, seed uint64) *Dealiaser {
-	return &Dealiaser{
+	d := &Dealiaser{
 		mode:     mode,
 		offline:  offline,
 		prober:   prober,
@@ -126,19 +161,29 @@ func New(mode Mode, offline *OfflineList, prober Prober, p proto.Protocol, seed 
 		inflight: make(map[ipaddr.Prefix]chan struct{}),
 		rngSeed:  seed,
 	}
+	if mode == ModeCooldown {
+		d.density = make(map[ipaddr.Prefix]int)
+		d.trigger = CooldownTrigger
+		d.candidates = candidateTrie(offline)
+	}
+	return d
 }
 
 // Mode returns the configured mode.
 func (d *Dealiaser) Mode() Mode { return d.mode }
 
 // SetTelemetry wires the dealiaser's alias.* counters (verdict-cache
-// hits/misses, prefixes tested, probes sent) into reg. A nil registry
-// detaches them.
+// hits/misses, prefixes tested, probes sent, prefixes cooled down) into
+// reg. A nil registry detaches them. Safe to call while Splits are in
+// flight: the counter fields are guarded by the dealiaser's mutex.
 func (d *Dealiaser) SetTelemetry(reg *telemetry.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.cCacheHit = reg.Counter("alias.verdict_cache.hits")
 	d.cCacheMiss = reg.Counter("alias.verdict_cache.misses")
 	d.cTested = reg.Counter("alias.prefixes_tested")
 	d.cProbesSent = reg.Counter("alias.probes_sent")
+	d.cCooled = reg.Counter("alias.cooldown.cooled")
 }
 
 // ProbesSent reports how many dealiasing probe targets have been issued.
@@ -162,6 +207,9 @@ func (d *Dealiaser) PrefixesTested() int {
 func (d *Dealiaser) Split(addrs []ipaddr.Addr) (clean, aliased []ipaddr.Addr) {
 	if d.mode == ModeNone || len(addrs) == 0 {
 		return addrs, nil
+	}
+	if d.mode == ModeCooldown {
+		return d.splitCooldown(addrs)
 	}
 
 	clean = make([]ipaddr.Addr, 0, len(addrs))
@@ -236,17 +284,23 @@ func (d *Dealiaser) claimUnknown(byPrefix map[ipaddr.Prefix][]ipaddr.Addr) (clai
 		d.inflight[p] = make(chan struct{})
 		claimed = append(claimed, p)
 	}
+	hit, miss := d.cCacheHit, d.cCacheMiss
 	d.mu.Unlock()
-	d.cCacheMiss.Add(int64(len(claimed)))
-	d.cCacheHit.Add(int64(len(byPrefix) - len(claimed)))
-	// Deterministic probe generation order.
-	sort.Slice(claimed, func(i, j int) bool {
-		if claimed[i].Addr() != claimed[j].Addr() {
-			return claimed[i].Addr().Less(claimed[j].Addr())
-		}
-		return claimed[i].Bits() < claimed[j].Bits()
-	})
+	miss.Add(int64(len(claimed)))
+	hit.Add(int64(len(byPrefix) - len(claimed)))
+	sortPrefixes(claimed) // deterministic probe generation order
 	return claimed, waits
+}
+
+// sortPrefixes orders prefixes canonically (address, then length) so
+// probe generation is reproducible.
+func sortPrefixes(ps []ipaddr.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Addr() != ps[j].Addr() {
+			return ps[i].Addr().Less(ps[j].Addr())
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
 }
 
 // probeHostBits derives the deterministic "random" host bits for probe k
@@ -284,8 +338,6 @@ func (d *Dealiaser) testPrefixes(prefixes []ipaddr.Prefix) {
 		}
 	}
 
-	d.cProbesSent.Add(int64(len(targets)))
-	d.cTested.Add(int64(len(prefixes)))
 	d.mu.Lock()
 	d.probes += len(targets)
 	d.tested += len(prefixes)
@@ -296,7 +348,10 @@ func (d *Dealiaser) testPrefixes(prefixes []ipaddr.Prefix) {
 			delete(d.inflight, p)
 		}
 	}
+	probesSent, tested := d.cProbesSent, d.cTested
 	d.mu.Unlock()
+	probesSent.Add(int64(len(targets)))
+	tested.Add(int64(len(prefixes)))
 }
 
 // mix64 is the deterministic fold used for probe address generation.

@@ -199,14 +199,24 @@ func TestModeNonePassesThrough(t *testing.T) {
 }
 
 func TestModeStrings(t *testing.T) {
-	want := map[Mode]string{ModeNone: "none", ModeOffline: "offline", ModeOnline: "online", ModeJoint: "joint"}
+	want := map[Mode]string{
+		ModeNone: "none", ModeOffline: "offline", ModeOnline: "online",
+		ModeJoint: "joint", ModeCooldown: "cooldown",
+	}
 	for m, s := range want {
 		if m.String() != s {
 			t.Errorf("%d.String() = %q", m, m.String())
 		}
+		got, err := ParseMode(s)
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", s, got, err)
+		}
 	}
-	if len(Modes) != 4 {
-		t.Fatal("Modes must list all four treatments")
+	if len(Modes) != 5 {
+		t.Fatal("Modes must list all five treatments")
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode accepted an unknown name")
 	}
 }
 

@@ -1,6 +1,7 @@
 package alias
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -103,6 +104,103 @@ func TestConcurrentSplitTestsEachPrefixOnce(t *testing.T) {
 	}
 	if hits+misses != int64(goroutines*prefixes) {
 		t.Errorf("hits+misses = %d, want %d", hits+misses, goroutines*prefixes)
+	}
+}
+
+// TestSetTelemetryDuringSplits is the regression test for the
+// SetTelemetry data race: it used to write the counter fields without
+// holding d.mu while concurrent Splits read them in claimUnknown and
+// testPrefixes. Now both sides synchronize on the mutex. Run under -race;
+// the assertion here is only that nothing is lost or crashed.
+func TestSetTelemetryDuringSplits(t *testing.T) {
+	base := ipaddr.MustParse("2001:db8:cccc::")
+	var addrs []ipaddr.Addr
+	for i := 0; i < 64; i++ {
+		addrs = append(addrs, base.AddLo(uint64(i)<<32))
+	}
+	prober := &countingProber{activeFn: func(ipaddr.Addr) bool { return false }}
+
+	for _, mode := range []Mode{ModeOnline, ModeCooldown} {
+		d := New(mode, nil, prober, proto.ICMP, 17)
+		stop := make(chan struct{})
+		var setter sync.WaitGroup
+		setter.Add(1)
+		go func() {
+			defer setter.Done()
+			regs := []*telemetry.Registry{telemetry.NewRegistry(), nil}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					d.SetTelemetry(regs[i%len(regs)])
+				}
+			}
+		}()
+		var splits sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			splits.Add(1)
+			go func(g int) {
+				defer splits.Done()
+				lo := g * len(addrs) / 4
+				hi := (g + 1) * len(addrs) / 4
+				clean, aliased := d.Split(addrs[lo:hi])
+				if len(clean)+len(aliased) != hi-lo {
+					t.Errorf("%v: partition lost addresses", mode)
+				}
+			}(g)
+		}
+		splits.Wait()
+		close(stop)
+		setter.Wait()
+	}
+}
+
+// TestConcurrentCooldownSplits races concurrent cool-down Splits over a
+// shared dealiaser: every suspicious /96 must be confirmed exactly once
+// (the cool-down path shares the singleflight claims), and each call's
+// partition must stay lossless. Run under -race.
+func TestConcurrentCooldownSplits(t *testing.T) {
+	// 8 addresses per /64 so every aggregate crosses CooldownTrigger, in
+	// distinct /96s so each needs its own confirmation.
+	var addrs []ipaddr.Addr
+	const aggs, per = 8, 8
+	for i := 0; i < aggs; i++ {
+		agg := ipaddr.MustParse(fmt.Sprintf("2001:db8:dddd:%x::", i))
+		for k := 0; k < per; k++ {
+			addrs = append(addrs, agg.AddLo(uint64(k)<<32))
+		}
+	}
+
+	prober := &countingProber{activeFn: func(ipaddr.Addr) bool { return true }}
+	d := New(ModeCooldown, nil, prober, proto.ICMP, 23)
+	reg := telemetry.NewRegistry()
+	d.SetTelemetry(reg)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clean, aliased := d.Split(addrs)
+			if len(clean)+len(aliased) != len(addrs) {
+				t.Error("partition lost addresses")
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := aggs * per // distinct /96s, all dense enough to confirm
+	if got := d.PrefixesTested(); got != want {
+		t.Errorf("PrefixesTested = %d, want %d (each /96 exactly once)", got, want)
+	}
+	if got := d.ProbesSent(); got != want*ProbesPerPrefix {
+		t.Errorf("ProbesSent = %d, want %d", got, want*ProbesPerPrefix)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["alias.cooldown.cooled"]; got != int64(want) {
+		t.Errorf("alias.cooldown.cooled = %d, want %d", got, want)
 	}
 }
 

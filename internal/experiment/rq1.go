@@ -74,12 +74,13 @@ func (e *Env) RunRQ1aCtx(ctx context.Context, protos []proto.Protocol, gens []st
 }
 
 // Table4Result holds Table 4: aliased addresses discovered by each TGA on
-// an ICMP run, under the four seed dealiasing treatments.
+// an ICMP run, under every seed dealiasing treatment (the paper's four
+// plus the cool-down extension).
 type Table4Result struct {
 	Budget int
 	Gens   []string
 	// Aliases[gen][i] for i indexing alias.Modes (none, offline, online,
-	// joint).
+	// joint, cooldown).
 	Aliases map[string][]int
 }
 

@@ -1,5 +1,9 @@
-// Package all registers the eight studied TGAs behind one factory, in the
-// paper's canonical presentation order.
+// Package all registers every implemented TGA behind one factory. Two
+// tiers: Names is the paper's study set (the eight TGAs §4 evaluates, in
+// canonical presentation order); ExtendedNames adds the generators
+// implemented beyond the study set (AddrMiner, 6Prob). Experiments that
+// reproduce the paper iterate Names; the extended grid measures what the
+// paper never did.
 package all
 
 import (
@@ -12,6 +16,7 @@ import (
 	"seedscan/internal/tga/sixgen"
 	"seedscan/internal/tga/sixgraph"
 	"seedscan/internal/tga/sixhit"
+	"seedscan/internal/tga/sixprob"
 	"seedscan/internal/tga/sixscan"
 	"seedscan/internal/tga/sixsense"
 	"seedscan/internal/tga/sixtree"
@@ -20,10 +25,10 @@ import (
 // Names lists the eight TGAs in the paper's canonical order.
 var Names = []string{"6Sense", "DET", "6Tree", "6Scan", "6Graph", "6Gen", "6Hit", "EIP"}
 
-// All eight studied TGAs support the model/run-state split, which is what
-// lets the model cache reuse their mined seed models across protocols.
-// AddrMiner is deliberately absent: its model depends on the mutable
-// long-term Store (see the addrminer package).
+// All eight studied TGAs plus 6Prob support the model/run-state split,
+// which is what lets the model cache reuse their mined seed models across
+// protocols. AddrMiner is deliberately absent: its model depends on the
+// mutable long-term Store (see the addrminer package).
 var (
 	_ tga.ModelBuilder = (*sixsense.Generator)(nil)
 	_ tga.ModelBuilder = (*det.Generator)(nil)
@@ -33,12 +38,14 @@ var (
 	_ tga.ModelBuilder = (*sixgen.Generator)(nil)
 	_ tga.ModelBuilder = (*sixhit.Generator)(nil)
 	_ tga.ModelBuilder = (*entropyip.Generator)(nil)
+	_ tga.ModelBuilder = (*sixprob.Generator)(nil)
 )
 
 // ExtendedNames adds the generators implemented beyond the paper's study
-// set (AddrMiner, the DET-derived long-term miner whose hitlist §5.1
-// consumes as a seed source).
-var ExtendedNames = append(append([]string(nil), Names...), "AddrMiner")
+// set: AddrMiner (the DET-derived long-term miner whose hitlist §5.1
+// consumes as a seed source) and 6Prob (the probability-trie generator
+// from the modern structure-aware family).
+var ExtendedNames = append(append([]string(nil), Names...), "AddrMiner", "6Prob")
 
 // New constructs a fresh generator by name.
 func New(name string) (tga.Generator, error) {
@@ -61,6 +68,8 @@ func New(name string) (tga.Generator, error) {
 		return entropyip.New(), nil
 	case "AddrMiner":
 		return addrminer.New(nil), nil
+	case "6Prob":
+		return sixprob.New(), nil
 	}
 	return nil, fmt.Errorf("tga/all: unknown generator %q", name)
 }

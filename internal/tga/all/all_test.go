@@ -46,10 +46,20 @@ func TestFactory(t *testing.T) {
 	if _, err := all.New("7Tree"); err == nil {
 		t.Fatal("unknown name accepted")
 	}
-	online := map[string]bool{"6Sense": true, "DET": true, "6Scan": true, "6Hit": true}
-	for _, g := range all.NewAll() {
-		if g.Online() != online[g.Name()] {
-			t.Errorf("%s Online() = %v", g.Name(), g.Online())
+	if len(all.ExtendedNames) != 10 {
+		t.Fatalf("ExtendedNames = %d", len(all.ExtendedNames))
+	}
+	online := map[string]bool{"6Sense": true, "DET": true, "6Scan": true, "6Hit": true, "AddrMiner": true}
+	for _, n := range all.ExtendedNames {
+		g, err := all.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name() != n {
+			t.Fatalf("Name mismatch: %q vs %q", g.Name(), n)
+		}
+		if g.Online() != online[n] {
+			t.Errorf("%s Online() = %v", n, g.Online())
 		}
 	}
 }
@@ -57,7 +67,7 @@ func TestFactory(t *testing.T) {
 func TestAllGeneratorsReachBudget(t *testing.T) {
 	_, sc, seeds := setup(t)
 	const budget = 3000
-	for _, name := range all.Names {
+	for _, name := range append(append([]string(nil), all.Names...), "6Prob") {
 		g := all.MustNew(name)
 		res, err := tga.Run(g, seeds, tga.RunConfig{
 			Budget: budget, BatchSize: 512, Proto: proto.ICMP,
@@ -78,7 +88,7 @@ func TestAllGeneratorsReachBudget(t *testing.T) {
 }
 
 func TestAllGeneratorsRejectEmptySeeds(t *testing.T) {
-	for _, name := range all.Names {
+	for _, name := range append(append([]string(nil), all.Names...), "6Prob") {
 		if err := all.MustNew(name).Init(nil); err == nil {
 			t.Errorf("%s accepted empty seeds", name)
 		}
@@ -213,7 +223,7 @@ func TestSixSenseBlacklistGrows(t *testing.T) {
 
 func TestGeneratorsDeterministic(t *testing.T) {
 	_, _, seeds := setup(t)
-	for _, name := range all.Names {
+	for _, name := range append(append([]string(nil), all.Names...), "6Prob") {
 		a, err := tga.Generate(all.MustNew(name), seeds, 1000)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

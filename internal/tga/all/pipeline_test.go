@@ -15,7 +15,7 @@ import (
 )
 
 // offlineNames are the generators the driver pipelines.
-var offlineNames = []string{"6Tree", "6Graph", "6Gen", "EIP"}
+var offlineNames = []string{"6Tree", "6Graph", "6Gen", "EIP", "6Prob"}
 
 func runResultsEqual(t *testing.T, name string, want, got *tga.RunResult) {
 	t.Helper()

@@ -1,14 +1,16 @@
 // Package tga defines the Target Generation Algorithm interface and the
 // driver that runs a generator against the scanner, plus the pattern-mining
 // machinery (observed-value masks, per-position entropy, space trees, and
-// leaf enumerators) shared by the eight TGA implementations in the
+// leaf enumerators) shared by the TGA implementations in the
 // subpackages.
 //
-// The eight generators reproduce the paper's study set: Entropy/IP, 6Gen,
-// 6Tree, 6Hit, DET, 6Graph, 6Scan, and 6Sense. Offline generators ignore
-// Feedback; online generators (DET, 6Hit, 6Scan, 6Sense) adapt their
-// allocation to probe results, which is also what makes them susceptible
-// to aliased-region traps when seeds are not dealiased.
+// Eight generators reproduce the paper's study set: Entropy/IP, 6Gen,
+// 6Tree, 6Hit, DET, 6Graph, 6Scan, and 6Sense; two more (AddrMiner,
+// 6Prob) extend beyond it — see tga/all for the paper-set vs extended-set
+// split. Offline generators ignore Feedback; online generators (DET,
+// 6Hit, 6Scan, 6Sense, AddrMiner) adapt their allocation to probe
+// results, which is also what makes them susceptible to aliased-region
+// traps when seeds are not dealiased.
 //
 // The driver has two execution modes. Online generators run the classic
 // lockstep loop — generate, scan, dealias, feedback — because each batch's
