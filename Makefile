@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scanner bench-cluster bench-tga bench-grid bench-serve cover experiments clean
+.PHONY: all build vet test race bench bench-scanner bench-cluster bench-tga bench-grid bench-serve bench-daemon cover experiments clean
 
 all: vet build test
 
@@ -57,6 +57,15 @@ bench-grid:
 bench-serve:
 	$(GO) test -run '^TestWriteServeBenchBaseline$$' -count=1 -v \
 		-serve-bench-out BENCH_serve.json .
+
+# Regenerate the committed longitudinal-daemon baseline: epoch cycle
+# time, probes saved by volatility-prioritized scheduling vs a full
+# per-epoch re-scan, stale-detection recall for both, and the
+# publish-to-serve generation swap cost. Fails if prioritization stops
+# saving probes or its recall falls below the full re-scan's.
+bench-daemon:
+	$(GO) test -run '^TestWriteDaemonBenchBaseline$$' -count=1 -v \
+		-daemon-bench-out BENCH_daemon.json .
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -1,0 +1,295 @@
+// Longitudinal-daemon benchmarks and the BENCH_daemon.json baseline writer.
+//
+// The daemon's contract is spending probes where the answer is uncertain:
+// across a multi-epoch run, the volatility-prioritized scheduler must probe
+// strictly fewer addresses than a full per-epoch re-scan while confirming
+// stale seeds at equal-or-better recall against the world's ground truth.
+// The bench runs both schedulers over the same churning world through the
+// real packet path, times epoch cycles, and measures the consumer-side
+// publish-to-serve swap (manifest poll + snapshot open on a fresh store
+// handle — what a `serve -watch` tick pays when a generation lands).
+//
+// `make bench-daemon` regenerates BENCH_daemon.json from these
+// measurements; see README.md for the format.
+package seedscan
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"seedscan/internal/hitlistdb"
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/longitudinal"
+	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
+	"seedscan/internal/seeds"
+	"seedscan/internal/world"
+)
+
+var daemonBenchOut = flag.String("daemon-bench-out", "",
+	"write the daemon baseline JSON to this path (see make bench-daemon)")
+
+// daemonBenchBaseline is the BENCH_daemon.json schema. The committed file
+// is the PR's acceptance artifact: the prioritized scheduler must beat a
+// full re-scan on probes at equal-or-better stale-detection recall.
+type daemonBenchBaseline struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	Universe  int    `json:"universe"`
+	Epochs    int    `json:"epochs"`
+
+	PrioritizedProbes int     `json:"prioritized_probes"`
+	FullProbes        int     `json:"full_rescan_probes"`
+	ProbesSavedPct    float64 `json:"probes_saved_pct"`
+
+	TrueDeaths        int     `json:"true_deaths"`
+	PrioritizedRecall float64 `json:"prioritized_stale_recall"`
+	FullRecall        float64 `json:"full_rescan_stale_recall"`
+
+	EpochMeanMillis float64 `json:"epoch_cycle_ms_mean"`
+	EpochMaxMillis  float64 `json:"epoch_cycle_ms_max"`
+
+	Publishes       int     `json:"publishes"`
+	SwapMeanMillis  float64 `json:"publish_to_serve_swap_ms_mean"`
+	FinalGeneration uint64  `json:"final_generation"`
+}
+
+const (
+	daemonBenchStart       = 1
+	daemonBenchEpochs      = 8
+	daemonBenchStaleAfter  = 2
+	daemonBenchStableEvery = 3
+)
+
+// daemonBenchWorld builds the churning world and its seed corpus. LossRate
+// is zero so the packet path agrees with the ground-truth oracle and the
+// recall comparison is exact.
+func daemonBenchWorld(t testing.TB) (*world.World, []ipaddr.Addr) {
+	t.Helper()
+	w := world.New(world.Config{Seed: 42, NumASes: 80, LossRate: 0})
+	w.SetEpoch(world.CollectEpoch)
+	srcs := seeds.CollectAll(w, seeds.CollectConfig{Seed: 7, Scale: 0.3})
+	set := ipaddr.NewSet()
+	for _, ds := range srcs {
+		set.AddSet(ds.Addrs)
+	}
+	corpus := set.Sorted()
+	if len(corpus) < 1000 {
+		t.Fatalf("bench corpus too thin: %d", len(corpus))
+	}
+	return w, corpus
+}
+
+// runDaemonBench runs one daemon over a fresh world copy, optionally
+// publishing each epoch into a store.
+func runDaemonBench(t testing.TB, stableEvery int, pub *hitlistdb.Store) (*longitudinal.Daemon, []longitudinal.EpochReport) {
+	t.Helper()
+	w, corpus := daemonBenchWorld(t)
+	sc := scanner.New(w.Link(), scanner.WithSecret(3))
+	d, err := longitudinal.New(longitudinal.Config{
+		World:       w,
+		Prober:      sc,
+		Corpus:      corpus,
+		Proto:       proto.ICMP,
+		StartEpoch:  daemonBenchStart,
+		Epochs:      daemonBenchEpochs,
+		StaleAfter:  daemonBenchStaleAfter,
+		StableEvery: stableEvery,
+		Publish:     pub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, reps
+}
+
+// daemonBenchTrueDeaths computes the ground truth both schedulers are
+// scored against: corpus addresses alive at the start epoch and down at
+// every epoch from the cutoff on — deaths old enough that rotation lag
+// plus the confirmation streak cannot excuse missing them.
+func daemonBenchTrueDeaths(w *world.World, corpus []ipaddr.Addr) *ipaddr.Set {
+	cutoff := daemonBenchStart + daemonBenchEpochs - 1 - (daemonBenchStableEvery - 1) - daemonBenchStaleAfter
+	dead := ipaddr.NewSet()
+	for _, a := range corpus {
+		if !w.ActiveOn(a, proto.ICMP, daemonBenchStart) {
+			continue
+		}
+		gone := true
+		for e := cutoff; e < daemonBenchStart+daemonBenchEpochs; e++ {
+			if w.ActiveOn(a, proto.ICMP, e) {
+				gone = false
+				break
+			}
+		}
+		if gone {
+			dead.Add(a)
+		}
+	}
+	return dead
+}
+
+func daemonBenchRecall(d *longitudinal.Daemon, trueDead *ipaddr.Set) float64 {
+	confirmed := 0
+	for _, a := range d.Tracker().ConfirmedStale() {
+		if trueDead.Contains(a) {
+			confirmed++
+		}
+	}
+	return float64(confirmed) / float64(trueDead.Len())
+}
+
+// TestWriteDaemonBenchBaseline regenerates BENCH_daemon.json when run with
+// -daemon-bench-out (wired to `make bench-daemon`); otherwise it is
+// skipped. It fails when the prioritized scheduler probes at least as much
+// as a full re-scan, when its stale-detection recall falls below the full
+// re-scan's, or when the consumer-side generation swap exceeds a generous
+// 500ms CI ceiling.
+func TestWriteDaemonBenchBaseline(t *testing.T) {
+	if *daemonBenchOut == "" {
+		t.Skip("pass -daemon-bench-out to regenerate BENCH_daemon.json")
+	}
+
+	// Prioritized run, publishing one generation per epoch.
+	pubDir := t.TempDir()
+	pub, err := hitlistdb.OpenStore(pubDir, hitlistdb.KeepGenerations(daemonBenchEpochs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, prioReps := runDaemonBench(t, daemonBenchStableEvery, pub)
+
+	// Full re-scan baseline: StableEvery=1 probes every non-stale address
+	// every epoch. No publishing — only probes and recall are compared.
+	full, _ := runDaemonBench(t, 1, nil)
+
+	prioProbes, fullProbes := 0, 0
+	var epochMillis []float64
+	for _, r := range prioReps {
+		prioProbes += r.Probed
+		epochMillis = append(epochMillis, float64(r.Duration.Microseconds())/1000)
+	}
+	for _, r := range full.Reports() {
+		fullProbes += r.Probed
+	}
+	meanMs, maxMs := 0.0, 0.0
+	for _, ms := range epochMillis {
+		meanMs += ms
+		if ms > maxMs {
+			maxMs = ms
+		}
+	}
+	meanMs /= float64(len(epochMillis))
+
+	w, corpus := daemonBenchWorld(t)
+	trueDead := daemonBenchTrueDeaths(w, corpus)
+	if trueDead.Len() == 0 {
+		t.Fatal("no ground-truth deaths; the bench world churns too little")
+	}
+	rPrio, rFull := daemonBenchRecall(prio, trueDead), daemonBenchRecall(full, trueDead)
+
+	// Publish-to-serve swap: what a `serve -watch` tick pays when a new
+	// generation lands — manifest read plus snapshot open — measured on
+	// fresh store handles so nothing is cached.
+	const swapRounds = 10
+	var swapTotal time.Duration
+	for i := 0; i < swapRounds; i++ {
+		reader, err := hitlistdb.OpenStore(pubDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, _, err := reader.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		swapTotal += time.Since(start)
+	}
+
+	out := daemonBenchBaseline{
+		Schema:            "seedscan-bench-daemon/v1",
+		GoVersion:         runtime.Version(),
+		CPUs:              runtime.NumCPU(),
+		Universe:          len(prio.Universe()),
+		Epochs:            daemonBenchEpochs,
+		PrioritizedProbes: prioProbes,
+		FullProbes:        fullProbes,
+		ProbesSavedPct:    100 * (1 - float64(prioProbes)/float64(fullProbes)),
+		TrueDeaths:        trueDead.Len(),
+		PrioritizedRecall: rPrio,
+		FullRecall:        rFull,
+		EpochMeanMillis:   meanMs,
+		EpochMaxMillis:    maxMs,
+		Publishes:         len(prioReps),
+		SwapMeanMillis:    float64(swapTotal.Microseconds()) / 1000 / swapRounds,
+		FinalGeneration:   pub.Generation(),
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*daemonBenchOut, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d probes vs %d full (%.1f%% saved), recall %.3f vs %.3f on %d deaths, epoch mean %.0fms, swap %.2fms\n",
+		*daemonBenchOut, out.PrioritizedProbes, out.FullProbes, out.ProbesSavedPct,
+		out.PrioritizedRecall, out.FullRecall, out.TrueDeaths, out.EpochMeanMillis, out.SwapMeanMillis)
+
+	if out.PrioritizedProbes >= out.FullProbes {
+		t.Errorf("prioritized scheduler probed %d, full re-scan %d: no savings", out.PrioritizedProbes, out.FullProbes)
+	}
+	if out.PrioritizedRecall < out.FullRecall {
+		t.Errorf("prioritized recall %.3f below full re-scan %.3f", out.PrioritizedRecall, out.FullRecall)
+	}
+	if out.FinalGeneration != uint64(daemonBenchEpochs) {
+		t.Errorf("published %d generations, want %d", out.FinalGeneration, daemonBenchEpochs)
+	}
+	if out.SwapMeanMillis > 500 {
+		t.Errorf("publish-to-serve swap %.1fms above the 500ms ceiling", out.SwapMeanMillis)
+	}
+}
+
+// TestDaemonBenchSmoke is the CI-safe form: a short prioritized vs full
+// comparison checking probes and recall only — no timing gate, so shared
+// runners cannot flake it.
+func TestDaemonBenchSmoke(t *testing.T) {
+	prio, _ := runDaemonBench(t, daemonBenchStableEvery, nil)
+	full, _ := runDaemonBench(t, 1, nil)
+	prioProbes, fullProbes := 0, 0
+	for _, r := range prio.Reports() {
+		prioProbes += r.Probed
+	}
+	for _, r := range full.Reports() {
+		fullProbes += r.Probed
+	}
+	if prioProbes >= fullProbes {
+		t.Fatalf("prioritized probed %d, full %d", prioProbes, fullProbes)
+	}
+	w, corpus := daemonBenchWorld(t)
+	trueDead := daemonBenchTrueDeaths(w, corpus)
+	if trueDead.Len() == 0 {
+		t.Fatal("no ground-truth deaths")
+	}
+	if rPrio, rFull := daemonBenchRecall(prio, trueDead), daemonBenchRecall(full, trueDead); rPrio < rFull {
+		t.Fatalf("prioritized recall %.3f below full re-scan %.3f", rPrio, rFull)
+	}
+}
+
+// BenchmarkDaemonEpoch measures one full prioritized epoch cycle (select,
+// scan through the packet path, observe, publish).
+func BenchmarkDaemonEpoch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runDaemonBench(b, daemonBenchStableEvery, nil)
+	}
+}

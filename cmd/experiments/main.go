@@ -13,8 +13,10 @@
 //
 // where LIST is a comma-separated subset of:
 // table1,table3,table4,table5,table6,fig1,fig2,fig3,fig4,fig5,fig6,fig7,
-// raw,rq5,raw912,ablation (default: all except raw912 and ablation, which
-// run only when named). -only is -run under its grid-era name and takes
+// raw,rq5,rq5time,raw912,ablation (default: all except raw912 and
+// ablation, which run only when named). rq5time is the longitudinal
+// metrics-over-time table: a multi-epoch daemon run reporting seed decay,
+// TGA hit persistence, and alias-set drift. -only is -run under its grid-era name and takes
 // precedence. -resume DIR checkpoints every completed grid cell to
 // DIR/cells.jsonl and resumes from it on restart; -list-cells prints the
 // deduplicated cell plan for the selection and exits without scanning.
@@ -219,6 +221,11 @@ func main() {
 		check(err)
 		fmt.Println(experiment.RenderRecommendations(recs))
 	}
+	if sel("rq5time") {
+		res, err := env.RunRQ5TimeCtx(ctx, gens, *budget, 0)
+		check(err)
+		fmt.Println(res.Render())
+	}
 	if sel("raw912") {
 		grid, err := env.RunRawGridCtx(ctx, protos, gens, nil, *budget)
 		check(err)
@@ -289,6 +296,9 @@ func selectedSpecs(env *experiment.Env, sel func(string) bool,
 			env.SpecRQ1b(icmp, gens, budget),
 			env.SpecRQ2([]proto.Protocol{proto.TCP443}, gens, budget),
 			env.SpecRQ4(icmp, gens, budget))
+	}
+	if sel("rq5time") {
+		specs = append(specs, env.SpecRQ5Time(gens, budget))
 	}
 	if sel("raw912") {
 		specs = append(specs, env.SpecRawGrid(protos, gens, nil, budget))

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"seedscan/internal/experiment/grid"
+	"seedscan/internal/hitlistdb"
+	"seedscan/internal/longitudinal"
+	"seedscan/internal/proto"
+)
+
+// cmdDaemon runs the longitudinal scanning service: it re-scans a budgeted,
+// volatility-prioritized slice of the seed universe as the world's epoch
+// clock advances, confirms stale seeds with a cool-down, and publishes each
+// epoch's believed-alive view as a new hitlistdb generation — the producer
+// half of a live pipeline whose consumer is `seedscan serve -watch`.
+//
+// Epoch scans are checkpointed as grid cells under -state, so a killed
+// daemon re-run with the same flags replays completed epochs byte-identically
+// and resumes scanning where it died, without re-publishing generations the
+// store already has.
+func cmdDaemon(args []string) error {
+	fs := flag.NewFlagSet("daemon", flag.ExitOnError)
+	seed, ases, scale := envFlags(fs)
+	trace, metrics := teleFlags(fs)
+	protoName := fs.String("proto", "icmp", "probing protocol: icmp, tcp80, tcp443, udp53")
+	epochs := fs.Int("epochs", 5, "consecutive epochs to run")
+	budget := fs.Int("budget", 0, "probe budget per epoch (0 = unlimited)")
+	staleAfter := fs.Int("stale-after", longitudinal.DefaultStaleAfter, "consecutive down observations confirming an address stale")
+	stableEvery := fs.Int("stable-every", longitudinal.DefaultStableEvery, "stable-host refresh period in epochs (1 = full re-scan)")
+	alpha := fs.Float64("alpha", longitudinal.DefaultAlpha, "volatility EWMA weight of the newest observation")
+	state := fs.String("state", "daemon-state", "checkpoint directory; re-running resumes from it")
+	publish := fs.String("publish", "hitlistdb", "hitlistdb store directory to publish each epoch into (empty disables publishing)")
+	keep := fs.Int("keep", 3, "published generation files to retain on disk")
+	fs.Parse(args)
+
+	p, err := proto.Parse(*protoName)
+	if err != nil {
+		return err
+	}
+	if *epochs <= 0 {
+		return fmt.Errorf("daemon: -epochs must be positive, got %d", *epochs)
+	}
+	tr, finish, err := newTracer(*trace, *metrics)
+	if err != nil {
+		return err
+	}
+	defer finish()
+	ctx, stop := signalContext()
+	defer stop()
+
+	env := buildEnvTele(*seed, *ases, *scale, 0, tr)
+
+	if err := os.MkdirAll(*state, 0o755); err != nil {
+		return err
+	}
+	store, err := grid.OpenJSONL(filepath.Join(*state, "cells.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	var pub *hitlistdb.Store
+	if *publish != "" {
+		pub, err = hitlistdb.OpenStore(*publish,
+			hitlistdb.KeepGenerations(*keep),
+			hitlistdb.StoreTelemetry(tr.Registry()))
+		if err != nil {
+			return err
+		}
+	}
+
+	d, err := longitudinal.New(longitudinal.Config{
+		World:           env.World,
+		Prober:          env.Prober,
+		Corpus:          env.Full.SortedSlice(),
+		Proto:           p,
+		Epochs:          *epochs,
+		Budget:          *budget,
+		StaleAfter:      *staleAfter,
+		StableEvery:     *stableEvery,
+		Alpha:           *alpha,
+		Fingerprint:     env.Fingerprint(),
+		Store:           store,
+		Publish:         pub,
+		AliasedPrefixes: env.Offline.Prefixes(),
+		Telemetry:       tr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("daemon: %d-address universe, %d epochs, %s, stale-after %d, stable-every %d (resumed %d cells from %s)\n",
+		len(d.Universe()), *epochs, p, *staleAfter, *stableEvery, store.Len(), *state)
+
+	reps, runErr := d.Run(ctx)
+	totalProbed, totalSaved := 0, 0
+	for _, r := range reps {
+		totalProbed += r.Probed
+		totalSaved += r.Saved
+		fmt.Printf("epoch %d: probed %d (new %d, pending %d, volatile %d, refresh %d; saved %d) hits %d flaps %d stale %d alive %d",
+			r.Epoch, r.Probed, r.New, r.PendingStale, r.Volatile, r.StableRefresh, r.Saved,
+			r.Hits, r.Flaps, r.ConfirmedStale, r.Alive)
+		if r.Generation > 0 {
+			fmt.Printf(" gen %d", r.Generation)
+		}
+		fmt.Printf(" [%s]\n", r.Duration.Round(time.Millisecond))
+	}
+	if runErr != nil {
+		return fmt.Errorf("daemon: %w (completed %d epochs; re-run to resume)", runErr, len(reps))
+	}
+	live := d.LiveSeeds()
+	fmt.Printf("done: %d probes sent, %d saved vs full re-scan; %d seeds live, %d confirmed stale\n",
+		totalProbed, totalSaved, len(live), len(d.Tracker().ConfirmedStale()))
+	return nil
+}

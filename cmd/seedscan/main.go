@@ -12,6 +12,7 @@
 //	dealias   split a dataset into clean and aliased addresses
 //	build-db  build a hitlist and publish it into a hitlistdb store
 //	serve     answer hitlist queries over HTTP from a hitlistdb store
+//	daemon    run the longitudinal epoch-driven scanning service
 //	worker    serve shards to a cluster coordinator over TCP
 //
 // scan can also coordinate a sharded cluster scan: -cluster-workers N
@@ -72,6 +73,8 @@ func main() {
 		err = cmdBuildDB(args)
 	case "serve":
 		err = cmdServe(args)
+	case "daemon":
+		err = cmdDaemon(args)
 	case "resolve":
 		err = cmdResolve(args)
 	case "worker":
@@ -101,6 +104,7 @@ commands:
   hitlist   run the full hitlist-service pipeline and publish artifacts
   build-db  build a hitlist and publish it into a hitlistdb store directory
   serve     answer hitlist queries over HTTP from a hitlistdb store
+  daemon    run the longitudinal epoch-driven scanning service
   resolve   simulate a ZDNS AAAA-resolution campaign over synthetic domains
   worker    serve shards to a cluster coordinator over TCP
 

@@ -80,10 +80,14 @@ func cmdServe(args []string) error {
 	trace, metrics := teleFlags(fs)
 	dir := fs.String("dir", "hitlistdb", "store directory to serve")
 	addr := fs.String("addr", "127.0.0.1:8674", "listen address")
-	watch := fs.Duration("watch", 0, "poll the store for new generations at this interval (0 = off)")
+	watch := fs.Bool("watch", false, "poll the store for new generations and swap them in live")
+	watchInterval := fs.Duration("watch-interval", 2*time.Second, "poll interval for -watch")
 	maxBulk := fs.Int("max-bulk", 4096, "maximum addresses per /v1/bulk request")
 	maxWalk := fs.Int("max-walk", 65536, "maximum records per /v1/prefix-walk response")
 	fs.Parse(args)
+	if *watchInterval <= 0 {
+		return fmt.Errorf("serve: -watch-interval must be positive, got %v", *watchInterval)
+	}
 
 	tr, finish, err := newTracer(*trace, *metrics)
 	if err != nil {
@@ -110,7 +114,11 @@ func cmdServe(args []string) error {
 
 	ctx, stop := signalContext()
 	defer stop()
-	return runServe(ctx, *addr, srv, st, *watch)
+	interval := time.Duration(0)
+	if *watch {
+		interval = *watchInterval
+	}
+	return runServe(ctx, *addr, srv, st, interval)
 }
 
 // runServe is the daemon loop behind cmdServe, split out so tests can drive

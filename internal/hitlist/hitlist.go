@@ -46,6 +46,10 @@ type ContextProber interface {
 type Snapshot struct {
 	// BuiltAt records the build time (informational).
 	BuiltAt time.Time
+	// Epoch is the world epoch the build scanned at. Batch builds leave it
+	// zero; the longitudinal daemon stamps each epoch's publish so serving
+	// staleness is visible all the way to /v1/healthz.
+	Epoch int
 	// Input is the number of unique input addresses.
 	Input int
 	// Responsive lists addresses answering on at least one protocol,

@@ -167,6 +167,10 @@ func (db *DB) Generation() uint64 { return db.hdr.generation }
 // BuiltAt returns the snapshot's build time.
 func (db *DB) BuiltAt() time.Time { return db.hdr.builtAt }
 
+// Epoch returns the world epoch the build scanned at (zero for batch
+// builds and files written before the epoch header field existed).
+func (db *DB) Epoch() int { return db.hdr.epoch }
+
 // AddrCount returns the number of address records.
 func (db *DB) AddrCount() int { return db.hdr.addrCount }
 
@@ -265,6 +269,7 @@ func (db *DB) AliasedPrefixes() []ipaddr.Prefix {
 func (db *DB) Snapshot() *hitlist.Snapshot {
 	snap := &hitlist.Snapshot{
 		BuiltAt:         db.hdr.builtAt,
+		Epoch:           db.hdr.epoch,
 		Input:           db.hdr.input,
 		AliasedAddrs:    db.hdr.aliasedAddrs,
 		Responsive:      ipaddr.NewSetCap(db.hdr.addrCount),

@@ -56,10 +56,14 @@ func openSnapshot(t testing.TB, snap *hitlist.Snapshot, gen uint64) *DB {
 // the reconstruction must be byte-identical.
 func TestRoundTrip(t *testing.T) {
 	snap := buildSnapshot(t)
+	snap.Epoch = 5 // daemon-style epoch stamp must survive the round trip
 	db := openSnapshot(t, snap, 7)
 
 	if db.Generation() != 7 {
 		t.Fatalf("generation = %d", db.Generation())
+	}
+	if db.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", db.Epoch())
 	}
 	if db.InputCount() != snap.Input || db.AliasedAddrCount() != snap.AliasedAddrs {
 		t.Fatalf("counts diverge: %d/%d vs %d/%d",
@@ -70,7 +74,7 @@ func TestRoundTrip(t *testing.T) {
 	}
 
 	back := db.Snapshot()
-	if back.Input != snap.Input || back.AliasedAddrs != snap.AliasedAddrs {
+	if back.Input != snap.Input || back.AliasedAddrs != snap.AliasedAddrs || back.Epoch != snap.Epoch {
 		t.Fatal("header fields lost")
 	}
 	if back.Responsive.Len() != snap.Responsive.Len() ||

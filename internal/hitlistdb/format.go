@@ -12,7 +12,9 @@
 //
 //	header   64 bytes: magic "SSHL", version u16, index stride u16,
 //	         generation u64, built-at unixnano i64, input u64,
-//	         aliased-addrs u64, addr count u64, prefix count u64
+//	         aliased-addrs u64, addr count u64, prefix count u64,
+//	         epoch u32 (the world epoch the build scanned at; zero for
+//	         batch builds and pre-epoch files)
 //	records  addr count × 17 bytes: address[16] | flags u8, sorted
 //	         ascending, unique. Flag bits 0..proto.Count-1 mark
 //	         per-protocol responsiveness; bit 7 marks membership in the
@@ -102,6 +104,7 @@ func Marshal(snap *hitlist.Snapshot, generation uint64) []byte {
 	b = binary.BigEndian.AppendUint64(b, uint64(snap.AliasedAddrs))
 	b = binary.BigEndian.AppendUint64(b, uint64(len(addrs)))
 	b = binary.BigEndian.AppendUint64(b, uint64(len(prefixes)))
+	b = binary.BigEndian.AppendUint32(b, uint32(snap.Epoch))
 	for len(b) < headerSize {
 		b = append(b, 0)
 	}
@@ -205,6 +208,7 @@ type headerInfo struct {
 	aliasedAddrs int
 	addrCount    int
 	prefixCount  int
+	epoch        int
 }
 
 // parseHeader validates the magic/version and decodes the header fields.
@@ -226,6 +230,7 @@ func parseHeader(b []byte) (headerInfo, error) {
 		aliasedAddrs: int(binary.BigEndian.Uint64(b[32:40])),
 		addrCount:    int(binary.BigEndian.Uint64(b[40:48])),
 		prefixCount:  int(binary.BigEndian.Uint64(b[48:56])),
+		epoch:        int(binary.BigEndian.Uint32(b[56:60])),
 	}
 	if h.stride <= 0 {
 		return headerInfo{}, fmt.Errorf("hitlistdb: invalid index stride %d", h.stride)

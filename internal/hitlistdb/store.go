@@ -20,11 +20,22 @@ import (
 // on disk before the manifest starts pointing at it.
 const manifestName = "MANIFEST.json"
 
-// manifest is the on-disk pointer to the current generation.
+// manifest is the on-disk pointer to the current generation. The build
+// metadata fields (epoch, built-at, record counts) are informational
+// duplicates of the data file's header so operators and external watchers
+// can read serving staleness without opening the database image; they are
+// additive and absent in pre-epoch manifests.
 type manifest struct {
 	Schema     string `json:"schema"`
 	Generation uint64 `json:"generation"`
 	File       string `json:"file"`
+	// Epoch is the world epoch the published build scanned at.
+	Epoch int `json:"epoch,omitempty"`
+	// BuiltUnixNano is the build timestamp of the published generation.
+	BuiltUnixNano int64 `json:"built_unixnano,omitempty"`
+	// Addrs and Prefixes are the published record counts.
+	Addrs    int `json:"addrs,omitempty"`
+	Prefixes int `json:"prefixes,omitempty"`
 }
 
 const manifestSchema = "seedscan-hitlistdb/v1"
@@ -136,7 +147,15 @@ func (s *Store) Publish(snap *hitlist.Snapshot) (*DB, error) {
 		s.set.tele.Counter("hitlistdb.store.publish_errors").Inc()
 		return nil, err
 	}
-	if err := s.writeManifest(manifest{Schema: manifestSchema, Generation: gen, File: genFile(gen)}); err != nil {
+	if err := s.writeManifest(manifest{
+		Schema:        manifestSchema,
+		Generation:    gen,
+		File:          genFile(gen),
+		Epoch:         db.Epoch(),
+		BuiltUnixNano: db.BuiltAt().UnixNano(),
+		Addrs:         db.AddrCount(),
+		Prefixes:      db.PrefixCount(),
+	}); err != nil {
 		s.set.tele.Counter("hitlistdb.store.publish_errors").Inc()
 		return nil, err
 	}

@@ -144,6 +144,48 @@ func TestStorePrune(t *testing.T) {
 	}
 }
 
+// TestStoreManifestMetadata pins the additive build-metadata fields: a
+// publish must mirror the data file's epoch, build time, and record counts
+// into the manifest, and a minimal pre-epoch manifest must still parse.
+func TestStoreManifestMetadata(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := smallSnapshot(4)
+	snap.Epoch = 9
+	db, err := st.Publish(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != 9 {
+		t.Fatalf("published DB epoch = %d, want 9", db.Epoch())
+	}
+	m, err := st.readManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 9 || m.Addrs != 4 || m.Prefixes != 0 ||
+		m.BuiltUnixNano != snap.BuiltAt.UnixNano() {
+		t.Fatalf("manifest metadata = %+v", m)
+	}
+
+	// A manifest without the metadata fields (written by an older publisher)
+	// still opens; the fields just read as zero.
+	old := fmt.Sprintf(`{"schema":%q,"generation":1,"file":%q}`, manifestSchema, genFile(1))
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("pre-epoch manifest rejected: %v", err)
+	}
+	if st2.Generation() != 1 {
+		t.Fatalf("pre-epoch manifest landed on generation %d", st2.Generation())
+	}
+}
+
 func TestStoreRejectsCorruptManifest(t *testing.T) {
 	dir := t.TempDir()
 	st, err := OpenStore(dir)

@@ -1,0 +1,201 @@
+package longitudinal
+
+import (
+	"sort"
+
+	"seedscan/internal/ipaddr"
+)
+
+// Default scheduler parameters.
+const (
+	// DefaultStableEvery is the stable-host refresh period: a host the
+	// model considers stable is re-probed once every this many epochs, on
+	// a rotation determined by its address hash — the bound on how long a
+	// quiet death can go unnoticed.
+	DefaultStableEvery = 4
+	// DefaultVolatilityFloor separates "probe every epoch" from "rotate":
+	// addresses whose predicted volatility is below it join the stable
+	// rotation instead of the per-epoch volatile class.
+	DefaultVolatilityFloor = 0.05
+)
+
+// SchedulerConfig sizes a Scheduler. Zero values get defaults; Budget 0
+// means unlimited.
+type SchedulerConfig struct {
+	// Budget caps how many targets one epoch may probe.
+	Budget int
+	// StableEvery is the stable-host refresh period.
+	StableEvery int
+	// VolatilityFloor is the volatile-class threshold.
+	VolatilityFloor float64
+	// Seed keys the rotation hash, so two daemons over the same universe
+	// can stagger their refresh phases.
+	Seed uint64
+}
+
+func (c *SchedulerConfig) fillDefaults() {
+	if c.StableEvery <= 0 {
+		c.StableEvery = DefaultStableEvery
+	}
+	if c.VolatilityFloor <= 0 {
+		c.VolatilityFloor = DefaultVolatilityFloor
+	}
+}
+
+// Selection is one epoch's probe plan. Targets is sorted; the class
+// counters report how the budget was spent and Saved how many eligible
+// (non-stale) universe addresses were skipped — the probes a full
+// re-scan would have spent.
+type Selection struct {
+	Targets []ipaddr.Addr
+	// New counts never-probed candidates; PendingStale addresses mid
+	// stale confirmation; Volatile the predicted-volatile class;
+	// StableRefresh the rotation slice of the stable mass.
+	New, PendingStale, Volatile, StableRefresh int
+	// Eligible is the non-stale universe size; Saved = Eligible − probed.
+	Eligible, Saved int
+}
+
+// Scheduler turns tracker state into a budgeted, volatility-prioritized
+// probe plan. Selection is deterministic: identical tracker state and
+// universe produce identical plans, which the daemon's resume depends on.
+type Scheduler struct {
+	cfg SchedulerConfig
+}
+
+// NewScheduler builds a scheduler.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	cfg.fillDefaults()
+	return &Scheduler{cfg: cfg}
+}
+
+// rotHash is a splitmix64-style mix placing an address on the stable
+// rotation wheel.
+func rotHash(seed uint64, a ipaddr.Addr) uint64 {
+	x := seed ^ a.Hi() ^ (a.Lo() * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Select plans one epoch's probes over the universe (sorted, deduplicated
+// addresses). Priority order under the budget cap:
+//
+//  1. never-probed candidates (every address deserves one observation),
+//  2. addresses pending stale confirmation (down, not yet confirmed —
+//     probed every epoch until resolved, the cool-down),
+//  3. the volatile class, most volatile first (predicted volatility is
+//     the address EWMA blended with its /64's mean, so one flappy host
+//     raises suspicion on its whole prefix),
+//  4. the stable rotation slice for this epoch.
+//
+// Confirmed-stale addresses are not probed at all — they re-enter only
+// through the universe changing (or a later resurrection policy).
+func (s *Scheduler) Select(epoch int, universe []ipaddr.Addr, tr *Tracker) Selection {
+	// Pass 1: per-/64 mean volatility over the observed universe.
+	type agg struct {
+		sum float64
+		n   int
+	}
+	vol64 := make(map[uint64]*agg)
+	for _, a := range universe {
+		if st := tr.State(a); st != nil {
+			g, ok := vol64[a.Hi()]
+			if !ok {
+				g = &agg{}
+				vol64[a.Hi()] = g
+			}
+			g.sum += st.Volatility
+			g.n++
+		}
+	}
+	mean64 := func(a ipaddr.Addr) float64 {
+		if g, ok := vol64[a.Hi()]; ok && g.n > 0 {
+			return g.sum / float64(g.n)
+		}
+		return 0
+	}
+
+	// Pass 2: classify.
+	type volAddr struct {
+		a ipaddr.Addr
+		v float64
+	}
+	var (
+		sel      Selection
+		news     []ipaddr.Addr
+		pending  []ipaddr.Addr
+		volatile []volAddr
+		stable   []ipaddr.Addr
+	)
+	for _, a := range universe {
+		st := tr.State(a)
+		switch {
+		case st == nil:
+			news = append(news, a)
+		case st.Stale:
+			continue // dropped from probing entirely
+		case st.ConsecDown >= 1:
+			pending = append(pending, a)
+		default:
+			v := st.Volatility
+			if m := mean64(a) / 2; m > v {
+				v = m
+			}
+			if v >= s.cfg.VolatilityFloor {
+				volatile = append(volatile, volAddr{a, v})
+			} else {
+				stable = append(stable, a)
+			}
+		}
+		sel.Eligible++
+	}
+	sort.SliceStable(volatile, func(i, j int) bool {
+		if volatile[i].v != volatile[j].v {
+			return volatile[i].v > volatile[j].v
+		}
+		return volatile[i].a.Less(volatile[j].a)
+	})
+
+	budget := s.cfg.Budget
+	if budget <= 0 {
+		budget = sel.Eligible
+	}
+	take := func(n int) int {
+		if room := budget - len(sel.Targets); n > room {
+			n = room
+		}
+		return n
+	}
+
+	n := take(len(news))
+	sel.Targets = append(sel.Targets, news[:n]...)
+	sel.New = n
+
+	n = take(len(pending))
+	sel.Targets = append(sel.Targets, pending[:n]...)
+	sel.PendingStale = n
+
+	n = take(len(volatile))
+	for _, va := range volatile[:n] {
+		sel.Targets = append(sel.Targets, va.a)
+	}
+	sel.Volatile = n
+
+	phase := uint64(epoch) % uint64(s.cfg.StableEvery)
+	for _, a := range stable {
+		if len(sel.Targets) >= budget {
+			break
+		}
+		if rotHash(s.cfg.Seed, a)%uint64(s.cfg.StableEvery) == phase {
+			sel.Targets = append(sel.Targets, a)
+			sel.StableRefresh++
+		}
+	}
+
+	sel.Saved = sel.Eligible - len(sel.Targets)
+	sort.Slice(sel.Targets, func(i, j int) bool { return sel.Targets[i].Less(sel.Targets[j]) })
+	return sel
+}

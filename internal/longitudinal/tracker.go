@@ -1,0 +1,240 @@
+// Package longitudinal runs scanning as an ongoing service rather than a
+// one-shot experiment: an epoch-driven daemon re-scans a budgeted target
+// set as the world's epoch clock advances, tracks per-address and per-/64
+// lifetime, stability, and volatility, confirms stale seeds instead of
+// trusting a single miss, and publishes each epoch's believed-alive view
+// as a new hitlistdb generation.
+//
+// This is the paper's §6.2 staleness critique turned into machinery: the
+// published hitlist decays between builds, and a scanner that re-scans
+// everything every epoch wastes most of its budget confirming what it
+// already knows. The volatility-prioritized scheduler spends probes where
+// the answer is uncertain — new candidates, hosts pending stale
+// confirmation, flappy addresses — and only rotates slowly through the
+// stable mass.
+//
+// The package deliberately does not import internal/experiment: the
+// experiment harness builds RQ5's metrics-over-time table on top of a
+// Daemon, not the other way around.
+package longitudinal
+
+import (
+	"sort"
+
+	"seedscan/internal/ipaddr"
+)
+
+// Default tracker parameters.
+const (
+	// DefaultStaleAfter is how many consecutive down observations confirm
+	// an address stale. One miss is routinely a flap or packet loss; the
+	// cool-down mirrors the dealiasing daemon's confirm-then-cool rule.
+	DefaultStaleAfter = 3
+	// DefaultAlpha is the EWMA weight of the newest flap observation.
+	DefaultAlpha = 0.5
+)
+
+// AddrState is the tracked longitudinal state of one address. Epoch
+// numbers are world epochs; counters cover probed epochs only (an epoch
+// the scheduler skipped an address leaves its state untouched).
+type AddrState struct {
+	// FirstSeen / LastSeen are the first and most recent epochs the
+	// address answered. Zero values are meaningless until UpCount > 0.
+	FirstSeen int
+	LastSeen  int
+	// LastProbed is the most recent epoch the address was probed.
+	LastProbed int
+	// Observed counts probed epochs; UpCount how many answered.
+	Observed int
+	UpCount  int
+	// Flaps counts observed up↔down transitions (either direction).
+	Flaps int
+	// ConsecDown / ConsecUp are the current observation streaks.
+	ConsecDown int
+	ConsecUp   int
+	// Up is the most recent observation.
+	Up bool
+	// Volatility is the EWMA of the state-changed indicator: 1 when an
+	// observation differed from the previous one, 0 when it repeated it.
+	// It decays geometrically while an address holds steady, so a host
+	// that flapped long ago eventually reads as stable again.
+	Volatility float64
+	// Stale is set once ConsecDown reaches the tracker's threshold and
+	// cleared if the address ever answers again (a resurrection).
+	Stale bool
+}
+
+// Lifetime is the observed alive span in epochs (inclusive); zero before
+// the first response.
+func (s *AddrState) Lifetime() int {
+	if s.UpCount == 0 {
+		return 0
+	}
+	return s.LastSeen - s.FirstSeen + 1
+}
+
+// ObserveStats summarizes one Observe call.
+type ObserveStats struct {
+	// Probed / Up are the observation counts of this epoch.
+	Probed, Up int
+	// Flaps counts state changes observed this epoch.
+	Flaps int
+	// NewlyStale counts addresses whose stale status was confirmed this
+	// epoch; Resurrected counts confirmed-stale addresses that answered.
+	NewlyStale, Resurrected int
+}
+
+// Tracker folds per-epoch scan observations into longitudinal state. It
+// is a deterministic pure fold: replaying the same (epoch, probed,
+// responsive) sequence reproduces identical state, which is what lets a
+// killed daemon rebuild itself from checkpointed cell results.
+//
+// Not safe for concurrent use; the daemon observes one epoch at a time.
+type Tracker struct {
+	alpha      float64
+	staleAfter int
+	states     map[ipaddr.Addr]*AddrState
+}
+
+// NewTracker builds a tracker. Non-positive parameters get the defaults.
+func NewTracker(alpha float64, staleAfter int) *Tracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	if staleAfter <= 0 {
+		staleAfter = DefaultStaleAfter
+	}
+	return &Tracker{alpha: alpha, staleAfter: staleAfter, states: make(map[ipaddr.Addr]*AddrState)}
+}
+
+// StaleAfter returns the confirmation threshold.
+func (t *Tracker) StaleAfter() int { return t.staleAfter }
+
+// Len reports how many addresses have been observed at least once.
+func (t *Tracker) Len() int { return len(t.states) }
+
+// State returns the tracked state of a, or nil if a was never probed.
+// The returned pointer is live; callers must not mutate it.
+func (t *Tracker) State(a ipaddr.Addr) *AddrState { return t.states[a] }
+
+// Observe folds one epoch's scan into the tracker: every address in
+// probed was sent a probe, and responded iff it is in responsive.
+func (t *Tracker) Observe(epoch int, probed []ipaddr.Addr, responsive *ipaddr.Set) ObserveStats {
+	var stats ObserveStats
+	for _, a := range probed {
+		up := responsive != nil && responsive.Contains(a)
+		st, ok := t.states[a]
+		if !ok {
+			st = &AddrState{}
+			t.states[a] = st
+		}
+		changed := st.Observed > 0 && st.Up != up
+		st.LastProbed = epoch
+		st.Observed++
+		stats.Probed++
+		if changed {
+			st.Flaps++
+			stats.Flaps++
+			st.Volatility = t.alpha + (1-t.alpha)*st.Volatility
+		} else {
+			st.Volatility = (1 - t.alpha) * st.Volatility
+		}
+		st.Up = up
+		if up {
+			stats.Up++
+			st.UpCount++
+			st.ConsecUp++
+			st.ConsecDown = 0
+			if st.UpCount == 1 {
+				st.FirstSeen = epoch
+			}
+			st.LastSeen = epoch
+			if st.Stale {
+				st.Stale = false
+				stats.Resurrected++
+			}
+		} else {
+			st.ConsecDown++
+			st.ConsecUp = 0
+			if !st.Stale && st.ConsecDown >= t.staleAfter {
+				st.Stale = true
+				stats.NewlyStale++
+			}
+		}
+	}
+	return stats
+}
+
+// Alive returns the believed-alive set: every address whose most recent
+// observation was a response and which is not confirmed stale.
+func (t *Tracker) Alive() *ipaddr.Set {
+	out := ipaddr.NewSet()
+	for a, st := range t.states {
+		if st.Up && !st.Stale {
+			out.Add(a)
+		}
+	}
+	return out
+}
+
+// ConfirmedStale returns the confirmed-stale addresses, sorted — the
+// seeds a treatment construction should drop.
+func (t *Tracker) ConfirmedStale() []ipaddr.Addr {
+	var out []ipaddr.Addr
+	for a, st := range t.states {
+		if st.Stale {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// StaleCount reports how many addresses are currently confirmed stale.
+func (t *Tracker) StaleCount() int {
+	n := 0
+	for _, st := range t.states {
+		if st.Stale {
+			n++
+		}
+	}
+	return n
+}
+
+// Prefix64 aggregates tracked state over one /64 — the granularity the
+// paper's TGAs target and the natural unit of routing-level churn.
+type Prefix64 struct {
+	Prefix  ipaddr.Prefix
+	Members int
+	Flaps   int
+	// Volatility is the mean member volatility.
+	Volatility float64
+	// Alive counts believed-alive members.
+	Alive int
+}
+
+// Prefixes64 returns the per-/64 aggregation, sorted by prefix.
+func (t *Tracker) Prefixes64() []Prefix64 {
+	agg := make(map[uint64]*Prefix64)
+	for a, st := range t.states {
+		hi := a.Hi()
+		p, ok := agg[hi]
+		if !ok {
+			p = &Prefix64{Prefix: ipaddr.PrefixFrom(a, 64)}
+			agg[hi] = p
+		}
+		p.Members++
+		p.Flaps += st.Flaps
+		p.Volatility += st.Volatility
+		if st.Up && !st.Stale {
+			p.Alive++
+		}
+	}
+	out := make([]Prefix64, 0, len(agg))
+	for _, p := range agg {
+		p.Volatility /= float64(p.Members)
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Addr().Less(out[j].Prefix.Addr()) })
+	return out
+}

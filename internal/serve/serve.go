@@ -303,15 +303,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) int {
 	return http.StatusOK
 }
 
-// healthzResponse reports liveness plus what the daemon is serving.
+// healthzResponse reports liveness plus what the daemon is serving. Epoch
+// and GenerationAge are the staleness view: which world epoch the served
+// build scanned at, and how long ago it was built.
 type healthzResponse struct {
 	OK          bool      `json:"ok"`
 	Generation  uint64    `json:"generation"`
+	Epoch       int       `json:"epoch"`
 	Addrs       int       `json:"addrs"`
 	Prefixes    int       `json:"prefixes"`
 	BuiltAt     time.Time `json:"built_at"`
-	Protocols   []string  `json:"protocols"`
-	APIVersions []string  `json:"api_versions"`
+	// GenerationAge is seconds since the served build was produced.
+	GenerationAge float64  `json:"generation_age_seconds"`
+	Protocols     []string `json:"protocols"`
+	APIVersions   []string `json:"api_versions"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
@@ -323,9 +328,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	if db := s.store.Current(); db != nil {
 		gen = db.Generation()
 		resp.Generation = gen
+		resp.Epoch = db.Epoch()
 		resp.Addrs = db.AddrCount()
 		resp.Prefixes = db.PrefixCount()
 		resp.BuiltAt = db.BuiltAt()
+		resp.GenerationAge = time.Since(db.BuiltAt()).Seconds()
 	}
 	return writeJSON(w, http.StatusOK, gen, resp)
 }

@@ -36,6 +36,7 @@ func startServer(t *testing.T, opts ...Option) (*httptest.Server, *hitlist.Snaps
 	if err != nil {
 		t.Fatal(err)
 	}
+	snap.Epoch = world.ScanEpoch // as the longitudinal daemon stamps it
 	st, err := hitlistdb.OpenStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -233,6 +234,12 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 	if got.Generation != 1 || got.Addrs == 0 {
 		t.Fatalf("healthz payload %+v", got)
+	}
+	if got.Epoch != world.ScanEpoch {
+		t.Fatalf("healthz epoch = %d, want %d", got.Epoch, world.ScanEpoch)
+	}
+	if got.GenerationAge < 0 || got.GenerationAge > 600 {
+		t.Fatalf("healthz generation age = %v seconds", got.GenerationAge)
 	}
 	_ = snap
 }

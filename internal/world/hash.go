@@ -18,6 +18,7 @@ const (
 	tagUnreach
 	tagRate
 	tagTCPSeq
+	tagFlap
 )
 
 // splitmix64 is the finalizer from Vigna's SplitMix64 generator; it is a

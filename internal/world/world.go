@@ -5,8 +5,8 @@
 // customer blocks, web farms, CDN nodes, DNS farms, aliased slabs), and a
 // region decides — as a pure function of the world seed and the address —
 // whether any given address exists, which of ICMP/TCP80/TCP443/UDP53 it
-// listens on, whether it churns away between the seed-collection epoch and
-// the scan epoch, and how its network answers probes (SYN-ACKs, RSTs,
+// listens on, whether it churns away, is born, or flaps as the epoch clock
+// advances, and how its network answers probes (SYN-ACKs, RSTs,
 // unreachables, rate-limited silence).
 //
 // Because every decision is a hash of (seed, address, tag), the world
@@ -25,11 +25,22 @@ import (
 )
 
 // Epochs: seeds are collected at CollectEpoch; experiments scan at
-// ScanEpoch. Churn and birth happen in between.
+// ScanEpoch. Churn and birth happen in between. The clock does not stop
+// there: every later epoch applies another round of churn and birth (plus
+// transient flap downtime), so a longitudinal service can advance the
+// world indefinitely with SetEpoch(e) for any e >= 0. Epochs 0 and 1
+// behave exactly as the original two-epoch model.
 const (
 	CollectEpoch = 0
 	ScanEpoch    = 1
 )
+
+// flapFraction scales a region's Churn rate into its per-epoch transient
+// downtime rate: at epochs >= 2, a surviving host is down for exactly that
+// epoch with probability Churn*flapFraction (dynamic-prefix renumbering,
+// maintenance windows). Flaps are what distinguish a volatile host from a
+// dead one — the signal longitudinal trackers estimate.
+const flapFraction = 0.5
 
 // World is the simulated Internet. Safe for concurrent use; the only
 // mutable state is the current epoch.
@@ -68,7 +79,20 @@ func (w *World) RegionOf(a ipaddr.Addr) (*Region, bool) {
 }
 
 // existsAt reports whether address a inside region r is an existing host at
-// the given epoch, applying density, churn, and birth.
+// the given epoch, applying density, per-epoch churn and birth cohorts,
+// and (from epoch 2 on) transient flap downtime.
+//
+// The model: the existence hash u places every in-template address on a
+// one-dimensional density axis. Addresses with u < Density form cohort 0,
+// alive at the collection epoch. The band [Density·(1+(t-1)·Birth),
+// Density·(1+t·Birth)) is cohort t: born at epoch t, so each epoch
+// transition births a fresh disjoint slice of the axis. A cohort-t host
+// then survives each later transition s (s > t) unless its per-transition
+// churn hash falls under the region's Churn rate — deaths are permanent.
+// On top of that, a living host may flap: at epochs >= 2 it is down for
+// exactly one epoch with probability Churn·flapFraction, independently per
+// epoch. At epochs 0 and 1 all of this reduces to the original two-epoch
+// model, hash for hash.
 func (w *World) existsAt(a ipaddr.Addr, r *Region, epoch int) bool {
 	if r.Aliased {
 		return true
@@ -77,16 +101,42 @@ func (w *World) existsAt(a ipaddr.Addr, r *Region, epoch int) bool {
 		return false
 	}
 	u := unit(mix64(w.seed, tagExists, a.Hi(), a.Lo()))
-	exists0 := u < r.Density
 	if epoch <= CollectEpoch {
-		return exists0
+		return u < r.Density
 	}
-	if exists0 {
-		churned := unit(mix64(w.seed, tagChurn, a.Hi(), a.Lo())) < r.Churn
-		return !churned
+	born := 0
+	if u >= r.Density {
+		// Not in cohort 0: find the birth cohort, if it is born by now.
+		if r.Density <= 0 || r.Birth <= 0 ||
+			u >= r.Density*(1+float64(epoch)*r.Birth) {
+			return false
+		}
+		born = 1 + int((u-r.Density)/(r.Density*r.Birth))
+		if born > epoch {
+			born = epoch // float-edge guard; the band check above bounds it
+		}
 	}
-	// Born between epochs: the band just above the density cut.
-	return u < r.Density*(1+r.Birth)
+	for t := born + 1; t <= epoch; t++ {
+		if unit(w.churnHash(a, t)) < r.Churn {
+			return false
+		}
+	}
+	if epoch >= 2 && r.Churn > 0 &&
+		unit(mix64(w.seed, tagFlap, a.Hi(), a.Lo(), uint64(epoch))) < r.Churn*flapFraction {
+		return false
+	}
+	return true
+}
+
+// churnHash is the per-transition death roll for the epoch t-1 -> t
+// transition. The first transition keeps the original epoch-free hash so
+// the two-epoch experiments stay byte-identical; later transitions fold
+// the epoch in for independent per-epoch churn.
+func (w *World) churnHash(a ipaddr.Addr, t int) uint64 {
+	if t == 1 {
+		return mix64(w.seed, tagChurn, a.Hi(), a.Lo())
+	}
+	return mix64(w.seed, tagChurn, a.Hi(), a.Lo(), uint64(t))
 }
 
 // ExistsAt reports whether a is an existing host at the given epoch.
