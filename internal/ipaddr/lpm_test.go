@@ -1,0 +1,189 @@
+package ipaddr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lpmFromStrings builds a table whose values index the prefix list.
+func lpmFromStrings(skipBits int, prefixes []string) (*LPMTable, []Prefix) {
+	tr := NewTrie()
+	ps := make([]Prefix, len(prefixes))
+	for i, s := range prefixes {
+		ps[i] = MustParsePrefix(s)
+		tr.Insert(ps[i], i)
+	}
+	return BuildLPM(tr, skipBits, func(_ Prefix, v any) uint32 { return uint32(v.(int)) }), ps
+}
+
+func TestLPMLongestMatch(t *testing.T) {
+	lt, _ := lpmFromStrings(0, []string{
+		"2001:db8::/32",     // 0
+		"2001:db8:1::/48",   // 1
+		"2001:db8:1:2::/64", // 2
+	})
+	cases := []struct {
+		addr string
+		want uint32
+		ok   bool
+	}{
+		{"2001:db8:1:2::99", 2, true},
+		{"2001:db8:1:3::99", 1, true},
+		{"2001:db8:9::1", 0, true},
+		{"2600::1", 0, false},
+	}
+	for _, c := range cases {
+		v, ok := lt.Lookup(MustParse(c.addr))
+		if ok != c.ok || (ok && v != c.want) {
+			t.Fatalf("Lookup(%s) = %d, %v; want %d, %v", c.addr, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestLPMNonNybblePrefixes(t *testing.T) {
+	// /33 and /35 exercise the partial-nybble span writes.
+	lt, _ := lpmFromStrings(0, []string{
+		"2001:db8::/33",      // 0: covers 2001:db8:0000-7fff
+		"2001:db8:8000::/33", // 1: covers 2001:db8:8000-ffff
+		"2001:db8:2000::/35", // 2: covers 2001:db8:2000-3fff inside 0
+	})
+	cases := []struct {
+		addr string
+		want uint32
+	}{
+		{"2001:db8:0001::1", 0},
+		{"2001:db8:7fff::1", 0},
+		{"2001:db8:8000::1", 1},
+		{"2001:db8:ffff::1", 1},
+		{"2001:db8:2abc::1", 2},
+		{"2001:db8:3fff::1", 2},
+		{"2001:db8:4000::1", 0},
+	}
+	for _, c := range cases {
+		v, ok := lt.Lookup(MustParse(c.addr))
+		if !ok || v != c.want {
+			t.Fatalf("Lookup(%s) = %d, %v; want %d", c.addr, v, ok, c.want)
+		}
+	}
+}
+
+func TestLPMSkipBits(t *testing.T) {
+	// All prefixes inside 2001:db8::/32; skipBits=32 skips eight nybbles.
+	lt, _ := lpmFromStrings(32, []string{
+		"2001:db8::/32",
+		"2001:db8:aa00::/40",
+		"2001:db8:aa00:bb00::/56",
+	})
+	cases := []struct {
+		addr string
+		want uint32
+	}{
+		{"2001:db8:1::1", 0},
+		{"2001:db8:aaff::1", 1},
+		{"2001:db8:aa00:bb42::1", 2},
+	}
+	for _, c := range cases {
+		v, ok := lt.Lookup(MustParse(c.addr))
+		if !ok || v != c.want {
+			t.Fatalf("Lookup(%s) = %d, %v; want %d", c.addr, v, ok, c.want)
+		}
+	}
+}
+
+func TestLPMDefaultRoute(t *testing.T) {
+	lt, _ := lpmFromStrings(0, []string{"::/0", "2001:db8::/32"})
+	if v, ok := lt.Lookup(MustParse("abcd::1")); !ok || v != 0 {
+		t.Fatalf("default route = %d, %v", v, ok)
+	}
+	if v, ok := lt.Lookup(MustParse("2001:db8::1")); !ok || v != 1 {
+		t.Fatalf("specific route = %d, %v", v, ok)
+	}
+}
+
+func TestLPMHostRoute(t *testing.T) {
+	lt, _ := lpmFromStrings(0, []string{"2001:db8::/32", "2001:db8::7/128"})
+	if v, ok := lt.Lookup(MustParse("2001:db8::7")); !ok || v != 1 {
+		t.Fatalf("/128 route = %d, %v", v, ok)
+	}
+	if v, ok := lt.Lookup(MustParse("2001:db8::8")); !ok || v != 0 {
+		t.Fatalf("neighbour of /128 = %d, %v", v, ok)
+	}
+}
+
+// TestLPMMatchesTrieRandomized is the contract test: for random prefix sets
+// and random probes, BuildLPM must agree with the Trie it flattened.
+func TestLPMMatchesTrieRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 5; round++ {
+		tr := NewTrie()
+		var prefixes []Prefix
+		for i := 0; i < 150; i++ {
+			bits := 8 + rng.Intn(113)
+			p := PrefixFrom(AddrFrom64s(rng.Uint64(), rng.Uint64()), bits)
+			tr.Insert(p, i)
+			prefixes = append(prefixes, p)
+		}
+		lt := BuildLPM(tr, 0, func(_ Prefix, v any) uint32 { return uint32(v.(int)) })
+		for i := 0; i < 1000; i++ {
+			var a Addr
+			if rng.Intn(2) == 0 {
+				a = prefixes[rng.Intn(len(prefixes))].RandomWithin(rng)
+			} else {
+				a = AddrFrom64s(rng.Uint64(), rng.Uint64())
+			}
+			wantV, wantOK := tr.Lookup(a)
+			gotV, gotOK := lt.Lookup(a)
+			if gotOK != wantOK || (gotOK && int(gotV) != wantV.(int)) {
+				t.Fatalf("round %d addr %v: lpm = %d, %v; trie = %v, %v",
+					round, a, gotV, gotOK, wantV, wantOK)
+			}
+		}
+	}
+}
+
+func TestTrieZeroValueUsable(t *testing.T) {
+	// The documented contract: a zero-value Trie behaves as an empty trie
+	// for every operation, and Insert brings it to life.
+	var tr Trie
+	if tr.Len() != 0 {
+		t.Fatalf("zero trie Len = %d", tr.Len())
+	}
+	if _, ok := tr.Lookup(MustParse("2001:db8::1")); ok {
+		t.Fatal("zero trie Lookup matched")
+	}
+	if _, _, ok := tr.LookupPrefix(MustParse("2001:db8::1")); ok {
+		t.Fatal("zero trie LookupPrefix matched")
+	}
+	if tr.Contains(MustParse("2001:db8::1")) {
+		t.Fatal("zero trie Contains matched")
+	}
+	if tr.ContainsExact(MustParsePrefix("2001:db8::/32")) {
+		t.Fatal("zero trie ContainsExact matched")
+	}
+	tr.Walk(func(Prefix, any) bool { t.Fatal("zero trie Walk visited"); return false })
+
+	tr.Insert(MustParsePrefix("2001:db8::/32"), "v")
+	if v, ok := tr.Lookup(MustParse("2001:db8::1")); !ok || v != "v" {
+		t.Fatalf("post-insert Lookup = %v, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("post-insert Len = %d", tr.Len())
+	}
+}
+
+func BenchmarkLPMLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewTrie()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(PrefixFrom(AddrFrom64s(rng.Uint64(), rng.Uint64()), 32+rng.Intn(33)), i)
+	}
+	lt := BuildLPM(tr, 0, func(_ Prefix, v any) uint32 { return uint32(v.(int)) })
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = AddrFrom64s(rng.Uint64(), rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lt.Lookup(addrs[i&1023])
+	}
+}

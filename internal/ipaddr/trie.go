@@ -3,8 +3,9 @@ package ipaddr
 // Trie is a binary radix trie keyed by IPv6 prefixes. It supports exact
 // insertion, longest-prefix match, and containment tests. Values are
 // generic-free (any); callers assert their own types. The zero value is an
-// empty trie ready to use... once wrapped by NewTrie (the root node must be
-// allocated).
+// empty trie ready to use: Insert allocates the root lazily and every
+// read operation treats a nil root as empty. NewTrie remains for callers
+// that prefer an explicit constructor.
 type Trie struct {
 	root *trieNode
 	size int
@@ -25,6 +26,9 @@ func (t *Trie) Len() int { return t.size }
 
 // Insert stores val at prefix p, replacing any existing value.
 func (t *Trie) Insert(p Prefix, val any) {
+	if t.root == nil {
+		t.root = &trieNode{}
+	}
 	n := t.root
 	a := p.Addr()
 	for i := 0; i < p.Bits(); i++ {
@@ -47,7 +51,7 @@ func (t *Trie) Lookup(a Addr) (any, bool) {
 	var best any
 	found := false
 	n := t.root
-	if n.set {
+	if n != nil && n.set {
 		best, found = n.val, true
 	}
 	for i := 0; i < 128 && n != nil; i++ {
@@ -67,7 +71,7 @@ func (t *Trie) LookupPrefix(a Addr) (Prefix, any, bool) {
 		bestBits = -1
 	)
 	n := t.root
-	if n.set {
+	if n != nil && n.set {
 		bestVal, bestBits = n.val, 0
 	}
 	for i := 0; i < 128 && n != nil; i++ {
@@ -92,13 +96,10 @@ func (t *Trie) Contains(a Addr) bool {
 func (t *Trie) ContainsExact(p Prefix) bool {
 	n := t.root
 	a := p.Addr()
-	for i := 0; i < p.Bits(); i++ {
+	for i := 0; i < p.Bits() && n != nil; i++ {
 		n = n.child[a.Bit(i)]
-		if n == nil {
-			return false
-		}
 	}
-	return n.set
+	return n != nil && n.set
 }
 
 // Walk visits every stored prefix/value pair in lexical order. Returning

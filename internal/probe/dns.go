@@ -67,38 +67,36 @@ func EncodeName(name string) ([]byte, error) { return encodeName(name) }
 // BuildDNSResponse constructs the matching response: QR set, question
 // echoed, zero answers (a REFUSED-style reply — enough to count liveness).
 func BuildDNSResponse(src, dst ipaddr.Addr, dstPort, txid uint16, question []byte) []byte {
-	msg := make([]byte, dnsHeaderLen+len(question))
+	return AppendDNSResponse(nil, src, dst, dstPort, txid, question)
+}
+
+// AppendDNSResponse appends the matching DNS response to buf and returns
+// the extended slice — the allocation-free form responders use.
+func AppendDNSResponse(buf []byte, src, dst ipaddr.Addr, dstPort, txid uint16, question []byte) []byte {
+	msgLen := dnsHeaderLen + len(question)
+	buf, pkt := grow(buf, IPv6HeaderLen+udpHeaderLen+msgLen)
+	putIPv6Header(pkt, src, dst, ProtoUDP, udpHeaderLen+msgLen)
+	l4 := pkt[IPv6HeaderLen:]
+	binary.BigEndian.PutUint16(l4[0:2], 53)
+	binary.BigEndian.PutUint16(l4[2:4], dstPort)
+	binary.BigEndian.PutUint16(l4[4:6], uint16(len(l4)))
+	l4[6], l4[7] = 0, 0 // checksum below (grow does not zero)
+	msg := l4[udpHeaderLen:]
 	binary.BigEndian.PutUint16(msg[0:2], txid)
 	msg[2] = 0x81 // QR + RD
 	msg[3] = 0x05 // RA=0, rcode REFUSED
 	binary.BigEndian.PutUint16(msg[4:6], 1)
+	msg[6], msg[7], msg[8], msg[9], msg[10], msg[11] = 0, 0, 0, 0, 0, 0 // AN/NS/AR counts
 	copy(msg[dnsHeaderLen:], question)
-	return buildUDP(src, dst, 53, dstPort, msg)
-}
-
-func buildUDP(src, dst ipaddr.Addr, srcPort, dstPort uint16, payload []byte) []byte {
-	l4 := make([]byte, udpHeaderLen+len(payload))
-	binary.BigEndian.PutUint16(l4[0:2], srcPort)
-	binary.BigEndian.PutUint16(l4[2:4], dstPort)
-	binary.BigEndian.PutUint16(l4[4:6], uint16(len(l4)))
-	copy(l4[udpHeaderLen:], payload)
 	binary.BigEndian.PutUint16(l4[6:8], checksum(src, dst, ProtoUDP, l4))
-
-	pkt := make([]byte, IPv6HeaderLen+len(l4))
-	putIPv6Header(pkt, src, dst, ProtoUDP, len(l4))
-	copy(pkt[IPv6HeaderLen:], l4)
-	return pkt
+	return buf
 }
 
 func parseUDP(p Packet, l4 []byte) (Packet, error) {
 	if len(l4) < udpHeaderLen {
 		return Packet{}, ErrTruncated
 	}
-	want := binary.BigEndian.Uint16(l4[6:8])
-	cp := make([]byte, len(l4))
-	copy(cp, l4)
-	cp[6], cp[7] = 0, 0
-	if checksum(p.Header.Src, p.Header.Dst, ProtoUDP, cp) != want {
+	if !verifyChecksum(p.Header.Src, p.Header.Dst, ProtoUDP, l4, 6) {
 		return Packet{}, ErrBadChecksum
 	}
 	p.SrcPort = binary.BigEndian.Uint16(l4[0:2])

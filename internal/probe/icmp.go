@@ -41,6 +41,12 @@ func BuildEchoReply(src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte
 	return appendEcho(nil, icmpTypeEchoReply, src, dst, id, seq, payload)
 }
 
+// AppendEchoReply appends an ICMPv6 Echo Reply to buf and returns the
+// extended slice — the allocation-free form responders use.
+func AppendEchoReply(buf []byte, src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
+	return appendEcho(buf, icmpTypeEchoReply, src, dst, id, seq, payload)
+}
+
 func appendEcho(buf []byte, typ uint8, src, dst ipaddr.Addr, id, seq uint16, payload []byte) []byte {
 	l4len := 8 + len(payload)
 	buf, pkt := grow(buf, IPv6HeaderLen+l4len)
@@ -60,31 +66,35 @@ func appendEcho(buf []byte, typ uint8, src, dst ipaddr.Addr, id, seq uint16, pay
 // quoting the start of the invoking packet, as routers do. The src is the
 // responding router; dst is the original prober.
 func BuildUnreachable(src, dst ipaddr.Addr, code uint8, invoking []byte) []byte {
+	return AppendUnreachable(nil, src, dst, code, invoking)
+}
+
+// AppendUnreachable appends an ICMPv6 Destination Unreachable message to
+// buf and returns the extended slice — the allocation-free form responders
+// use.
+func AppendUnreachable(buf []byte, src, dst ipaddr.Addr, code uint8, invoking []byte) []byte {
 	quote := invoking
 	if len(quote) > IPv6HeaderLen+unreachInvokedBytes {
 		quote = quote[:IPv6HeaderLen+unreachInvokedBytes]
 	}
-	l4 := make([]byte, 8+len(quote))
+	l4len := 8 + len(quote)
+	buf, pkt := grow(buf, IPv6HeaderLen+l4len)
+	putIPv6Header(pkt, src, dst, ProtoICMPv6, l4len)
+	l4 := pkt[IPv6HeaderLen:]
 	l4[0] = icmpTypeUnreachable
 	l4[1] = code
+	l4[2], l4[3] = 0, 0                     // checksum below (grow does not zero)
+	l4[4], l4[5], l4[6], l4[7] = 0, 0, 0, 0 // unused per RFC 4443 §3.1
 	copy(l4[8:], quote)
 	binary.BigEndian.PutUint16(l4[2:4], checksum(src, dst, ProtoICMPv6, l4))
-
-	pkt := make([]byte, IPv6HeaderLen+len(l4))
-	putIPv6Header(pkt, src, dst, ProtoICMPv6, len(l4))
-	copy(pkt[IPv6HeaderLen:], l4)
-	return pkt
+	return buf
 }
 
 func parseICMP(p Packet, l4 []byte) (Packet, error) {
 	if len(l4) < 8 {
 		return Packet{}, ErrTruncated
 	}
-	want := binary.BigEndian.Uint16(l4[2:4])
-	cp := make([]byte, len(l4))
-	copy(cp, l4)
-	cp[2], cp[3] = 0, 0
-	if checksum(p.Header.Src, p.Header.Dst, ProtoICMPv6, cp) != want {
+	if !verifyChecksum(p.Header.Src, p.Header.Dst, ProtoICMPv6, l4, 2) {
 		return Packet{}, ErrBadChecksum
 	}
 	switch l4[0] {

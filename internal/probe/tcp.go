@@ -35,10 +35,22 @@ func BuildTCPSynAck(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint
 	return buildTCP(src, dst, srcPort, dstPort, seq, ack, tcpFlagSyn|tcpFlagAck)
 }
 
+// AppendTCPSynAck appends a SYN-ACK to buf and returns the extended slice —
+// the allocation-free form responders use.
+func AppendTCPSynAck(buf []byte, src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32) []byte {
+	return appendTCP(buf, src, dst, srcPort, dstPort, seq, ack, tcpFlagSyn|tcpFlagAck)
+}
+
 // BuildTCPRst constructs the RST a live host with a closed port answers
 // with. Per the paper's methodology (§4.1), RSTs are not counted as hits.
 func BuildTCPRst(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32) []byte {
 	return buildTCP(src, dst, srcPort, dstPort, seq, ack, tcpFlagRst|tcpFlagAck)
+}
+
+// AppendTCPRst appends a RST to buf and returns the extended slice — the
+// allocation-free form responders use.
+func AppendTCPRst(buf []byte, src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32) []byte {
+	return appendTCP(buf, src, dst, srcPort, dstPort, seq, ack, tcpFlagRst|tcpFlagAck)
 }
 
 func buildTCP(src, dst ipaddr.Addr, srcPort, dstPort uint16, seq, ack uint32, flags uint8) []byte {
@@ -66,11 +78,7 @@ func parseTCP(p Packet, l4 []byte) (Packet, error) {
 	if len(l4) < tcpHeaderLen {
 		return Packet{}, ErrTruncated
 	}
-	want := binary.BigEndian.Uint16(l4[16:18])
-	cp := make([]byte, len(l4))
-	copy(cp, l4)
-	cp[16], cp[17] = 0, 0
-	if checksum(p.Header.Src, p.Header.Dst, ProtoTCP, cp) != want {
+	if !verifyChecksum(p.Header.Src, p.Header.Dst, ProtoTCP, l4, 16) {
 		return Packet{}, ErrBadChecksum
 	}
 	p.SrcPort = binary.BigEndian.Uint16(l4[0:2])

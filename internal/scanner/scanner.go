@@ -17,7 +17,9 @@
 // atomic virtual clock (no mutex), counters are sharded per worker and
 // merged on read, probes are built into reused per-worker scratch buffers,
 // and links that implement BatchLink receive whole chunks of probes per
-// exchange instead of one interface call per packet.
+// exchange instead of one interface call per packet. Links that additionally
+// implement ArenaLink answer each chunk into a per-worker reply arena, making
+// the steady-state exchange loop allocation-free on both sides.
 package scanner
 
 import (
@@ -50,6 +52,17 @@ type Link interface {
 type BatchLink interface {
 	Link
 	ExchangeBatch(pkts [][]byte) [][][]byte
+}
+
+// ArenaLink is the zero-allocation batched wire: the link writes at most
+// one reply per packet into the caller-owned ReplyBuf instead of returning
+// freshly allocated reply slices. The scanner prefers it over BatchLink —
+// with both sides reusing arenas, the steady-state exchange path allocates
+// nothing per packet. Replies recorded in rb alias its arena and are
+// consumed before the next exchange on the same worker.
+type ArenaLink interface {
+	Link
+	ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf)
 }
 
 // dnsQueryName is the fixed liveness qname stamped on UDP/53 probes.
@@ -205,6 +218,7 @@ type Scanner struct {
 
 	shards   []statShard // len is a power of two
 	shardSeq atomic.Int64
+	wsPool   sync.Pool // recycled *workerState scratch across scans
 
 	dnsName []byte // pre-encoded wire form of dnsQueryName
 
@@ -313,6 +327,7 @@ type workerState struct {
 	ends    []int  // arena end offset of each pending packet
 	pkts    [][]byte
 	pending []pendingProbe
+	rb      probe.ReplyBuf // reply arena for ArenaLink exchanges
 }
 
 // pendingProbe tracks one not-yet-answered target within a chunk.
@@ -321,12 +336,20 @@ type pendingProbe struct {
 	cookie uint64
 }
 
-// newWorkerState hands a worker its shard round-robin, so concurrent
-// scans spread across the shard pool.
+// newWorkerState hands a worker its scratch state: pooled when a previous
+// scan's worker released one (its warmed arenas come back with it), fresh
+// otherwise with a round-robin counter shard, so concurrent scans spread
+// across the shard pool.
 func (s *Scanner) newWorkerState() *workerState {
+	if st, ok := s.wsPool.Get().(*workerState); ok {
+		return st
+	}
 	id := int(s.shardSeq.Add(1) - 1)
 	return &workerState{shard: &s.shards[id&(len(s.shards)-1)]}
 }
+
+// putWorkerState releases a worker's scratch for reuse by later scans.
+func (s *Scanner) putWorkerState(st *workerState) { s.wsPool.Put(st) }
 
 // ScanContext probes every target on p and returns one Result per unique
 // target. Targets are deduplicated, shuffled (unless WithoutShuffle),
@@ -355,9 +378,12 @@ func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p prot
 	if workers > len(targets) {
 		workers = len(targets)
 	}
+	// Link capability dispatch: ArenaLink (zero-alloc reply arena) beats
+	// BatchLink (allocating batched replies) beats per-packet Exchange.
+	al, _ := s.link.(ArenaLink)
 	bl, _ := s.link.(BatchLink)
 	chunk := s.set.chunk
-	if bl == nil {
+	if al == nil && bl == nil {
 		chunk = 1
 	}
 	for w := 0; w < workers; w++ {
@@ -365,6 +391,7 @@ func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p prot
 		go func() {
 			defer wg.Done()
 			st := s.newWorkerState()
+			defer s.putWorkerState(st)
 			for ctx.Err() == nil {
 				start := int(next.Add(int64(chunk))) - chunk
 				if start >= len(targets) {
@@ -374,9 +401,12 @@ func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p prot
 				if end > len(targets) {
 					end = len(targets)
 				}
-				if chunk > 1 {
+				switch {
+				case chunk > 1 && al != nil:
+					s.probeChunkArena(al, st, targets[start:end], p, results[start:end], &sent)
+				case chunk > 1:
 					s.probeChunk(bl, st, targets[start:end], p, results[start:end], &sent)
-				} else {
+				default:
 					results[start] = s.probeOne(st, targets[start], p, &sent)
 				}
 			}
@@ -471,15 +501,10 @@ func (s *Scanner) probeOne(w *workerState, dst ipaddr.Addr, p proto.Protocol, se
 			s.pc[p].retries.Inc()
 		}
 		for _, raw := range s.link.Exchange(w.arena) {
-			w.shard.packetsRecv.Add(1)
-			s.cRecv.Inc()
-			st, ok := s.classify(raw, dst, p, c, attempt)
+			st, ok := s.consumeReply(w, raw, dst, p, c, attempt)
 			if !ok {
-				w.shard.invalidCookie.Add(1)
-				s.cCookieBad.Inc()
 				continue
 			}
-			s.countStatus(w, p, st)
 			res.Status = st
 			return res
 		}
@@ -488,12 +513,9 @@ func (s *Scanner) probeOne(w *workerState, dst ipaddr.Addr, p proto.Protocol, se
 	return res
 }
 
-// probeChunk probes one claimed chunk of targets through the batched link:
-// one ExchangeBatch per attempt round, with targets leaving the pending
-// set as soon as a validated response arrives. Per-target semantics —
-// classification, attempt counting, counter increments — mirror probeOne
-// exactly.
-func (s *Scanner) probeChunk(bl BatchLink, w *workerState, targets []ipaddr.Addr, p proto.Protocol, results []Result, sent *atomic.Int64) {
+// prepareChunk initializes a claimed chunk: zeroed results, blocklist
+// filtering, and the pending set of targets still awaiting an answer.
+func (s *Scanner) prepareChunk(w *workerState, targets []ipaddr.Addr, p proto.Protocol, results []Result) {
 	w.pending = w.pending[:0]
 	for i, dst := range targets {
 		results[i] = Result{Addr: dst, Proto: p}
@@ -505,29 +527,45 @@ func (s *Scanner) probeChunk(bl BatchLink, w *workerState, targets []ipaddr.Addr
 		}
 		w.pending = append(w.pending, pendingProbe{idx: i, cookie: s.cookie(dst, p)})
 	}
+}
+
+// buildAttempt builds one probe per pending target into the worker's shared
+// arena and slices them out into w.pkts, then charges the rate limiter and
+// send counters for the round.
+func (s *Scanner) buildAttempt(w *workerState, targets []ipaddr.Addr, p proto.Protocol, attempt int, sent *atomic.Int64) {
+	n := len(w.pending)
+	// Build every probe into the shared arena first (it may move while
+	// growing), then slice the packets out by their recorded ends.
+	w.arena = w.arena[:0]
+	w.ends = w.ends[:0]
+	for _, pd := range w.pending {
+		w.arena = s.appendProbe(w.arena, targets[pd.idx], p, pd.cookie, attempt)
+		w.ends = append(w.ends, len(w.arena))
+	}
+	w.pkts = w.pkts[:0]
+	prev := 0
+	for _, end := range w.ends {
+		w.pkts = append(w.pkts, w.arena[prev:end])
+		prev = end
+	}
+	s.rl.TakeN(n)
+	sent.Add(int64(n))
+	w.shard.packetsSent.Add(int64(n))
+	s.pc[p].sent.Add(int64(n))
+	if attempt > 0 {
+		s.pc[p].retries.Add(int64(n))
+	}
+}
+
+// probeChunk probes one claimed chunk of targets through the batched link:
+// one ExchangeBatch per attempt round, with targets leaving the pending
+// set as soon as a validated response arrives. Per-target semantics —
+// classification, attempt counting, counter increments — mirror probeOne
+// exactly.
+func (s *Scanner) probeChunk(bl BatchLink, w *workerState, targets []ipaddr.Addr, p proto.Protocol, results []Result, sent *atomic.Int64) {
+	s.prepareChunk(w, targets, p, results)
 	for attempt := 0; attempt <= s.set.retries && len(w.pending) > 0; attempt++ {
-		n := len(w.pending)
-		// Build every probe into the shared arena first (it may move while
-		// growing), then slice the packets out by their recorded ends.
-		w.arena = w.arena[:0]
-		w.ends = w.ends[:0]
-		for _, pd := range w.pending {
-			w.arena = s.appendProbe(w.arena, targets[pd.idx], p, pd.cookie, attempt)
-			w.ends = append(w.ends, len(w.arena))
-		}
-		w.pkts = w.pkts[:0]
-		prev := 0
-		for _, end := range w.ends {
-			w.pkts = append(w.pkts, w.arena[prev:end])
-			prev = end
-		}
-		s.rl.TakeN(n)
-		sent.Add(int64(n))
-		w.shard.packetsSent.Add(int64(n))
-		s.pc[p].sent.Add(int64(n))
-		if attempt > 0 {
-			s.pc[p].retries.Add(int64(n))
-		}
+		s.buildAttempt(w, targets, p, attempt, sent)
 		replies := bl.ExchangeBatch(w.pkts)
 
 		keep := w.pending[:0]
@@ -537,15 +575,10 @@ func (s *Scanner) probeChunk(bl BatchLink, w *workerState, targets []ipaddr.Addr
 			answered := false
 			if j < len(replies) {
 				for _, raw := range replies[j] {
-					w.shard.packetsRecv.Add(1)
-					s.cRecv.Inc()
-					st, ok := s.classify(raw, res.Addr, p, pd.cookie, attempt)
+					st, ok := s.consumeReply(w, raw, res.Addr, p, pd.cookie, attempt)
 					if !ok {
-						w.shard.invalidCookie.Add(1)
-						s.cCookieBad.Inc()
 						continue
 					}
-					s.countStatus(w, p, st)
 					res.Status = st
 					answered = true
 					break
@@ -559,6 +592,54 @@ func (s *Scanner) probeChunk(bl BatchLink, w *workerState, targets []ipaddr.Addr
 	}
 	// Whatever is still pending stays StatusSilent with Attempts already
 	// set to the full retry count.
+}
+
+// probeChunkArena is probeChunk over an ArenaLink: the link answers each
+// attempt round into the worker's ReplyBuf, so the exchange allocates
+// nothing on either side. Classification semantics are identical — an
+// ArenaLink records at most one reply per packet, which matches how every
+// reply set is consumed (first validated reply wins, the rest only bump
+// receive counters, which a single-reply link never produces).
+func (s *Scanner) probeChunkArena(al ArenaLink, w *workerState, targets []ipaddr.Addr, p proto.Protocol, results []Result, sent *atomic.Int64) {
+	s.prepareChunk(w, targets, p, results)
+	for attempt := 0; attempt <= s.set.retries && len(w.pending) > 0; attempt++ {
+		s.buildAttempt(w, targets, p, attempt, sent)
+		al.ExchangeBatchInto(w.pkts, &w.rb)
+
+		keep := w.pending[:0]
+		for j, pd := range w.pending {
+			res := &results[pd.idx]
+			res.Attempts = attempt + 1
+			answered := false
+			if raw := w.rb.Reply(j); raw != nil {
+				st, ok := s.consumeReply(w, raw, res.Addr, p, pd.cookie, attempt)
+				if ok {
+					res.Status = st
+					answered = true
+				}
+			}
+			if !answered {
+				keep = append(keep, pd)
+			}
+		}
+		w.pending = keep
+	}
+}
+
+// consumeReply counts and classifies one raw reply to dst; ok is false for
+// spoofed or cookie-mismatched packets (which count as invalid, not as an
+// answer).
+func (s *Scanner) consumeReply(w *workerState, raw []byte, dst ipaddr.Addr, p proto.Protocol, cookie uint64, attempt int) (Status, bool) {
+	w.shard.packetsRecv.Add(1)
+	s.cRecv.Inc()
+	st, ok := s.classify(raw, dst, p, cookie, attempt)
+	if !ok {
+		w.shard.invalidCookie.Add(1)
+		s.cCookieBad.Inc()
+		return StatusSilent, false
+	}
+	s.countStatus(w, p, st)
+	return st, true
 }
 
 // countStatus bumps the counters for one validated response.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"seedscan/internal/asdb"
 	"seedscan/internal/ipaddr"
@@ -28,6 +29,9 @@ type Config struct {
 	// (default 0.01).
 	LossRate float64
 	// SizeScale multiplies per-region host-count targets (default 1).
+	// Combined with lazy materialization it grows the expected host
+	// population arbitrarily — 100x a default world passes 10^8 hosts —
+	// without changing the build cost.
 	SizeScale float64
 }
 
@@ -82,35 +86,112 @@ var styleWordsChoices = [][]byte{
 	{0xb, 0x0, 0x0, 0xc}, // b00c
 }
 
-// New synthesizes a world from cfg.
+// New synthesizes a world from cfg. The call is cheap at any size: it
+// allocates one group slot per AS and nothing else. Each AS's regions
+// materialize on first contact (a routed packet, a sampler, Regions())
+// from the AS's own deterministic RNG, so equal seeds still give equal
+// worlds regardless of which parts were touched first or concurrently.
 func New(cfg Config) *World {
 	cfg.fillDefaults()
-	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
-	w := &World{
+	return &World{
 		seed:     cfg.Seed,
-		trie:     ipaddr.NewTrie(),
-		asdb:     asdb.New(),
+		cfg:      cfg,
 		lossRate: cfg.LossRate,
+		groups:   make([]atomic.Pointer[regionGroup], cfg.NumASes+1),
 	}
-	b := &builder{w: w, cfg: cfg, rng: rng}
-	for i := 0; i < cfg.NumASes; i++ {
-		b.buildAS(i)
-	}
-	b.buildPathologicalAS()
-	for _, r := range w.regions {
-		w.trie.Insert(r.Prefix, r)
-	}
-	return w
 }
 
+// asHeader is the cheap, region-free identity of one AS: what the registry
+// and the routing spine need without materializing any regions.
+type asHeader struct {
+	asn      int
+	name     string
+	org      asdb.OrgType
+	prefixes []ipaddr.Prefix
+}
+
+// asRNG returns the deterministic per-AS generator RNG for slot i.
+func (w *World) asRNG(i int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(mix64(w.seed, tagASSeed, uint64(i)))))
+}
+
+// headerOf derives slot i's header, reusing a materialized group's copy
+// when available. The header draws are the first draws of the AS's RNG, so
+// deriving it alone costs two draws and no region work.
+func (w *World) headerOf(i int) asHeader {
+	if g := w.groups[i].Load(); g != nil {
+		return g.header
+	}
+	if i == w.cfg.NumASes {
+		return pathologicalHeader(w.cfg)
+	}
+	rng := w.asRNG(i)
+	org := pickOrg(rng)
+	nPrefixes := 1 + rng.Intn(3)
+	return makeHeader(i, org, nPrefixes)
+}
+
+// makeHeader builds AS index i's header from its two header draws.
+func makeHeader(i int, org asdb.OrgType, nPrefixes int) asHeader {
+	asn := 1000 + i*7
+	base := asBase(i)
+	prefixes := make([]ipaddr.Prefix, 0, nPrefixes)
+	for j := 0; j < nPrefixes; j++ {
+		a := ipaddr.AddrFrom64s(base.Hi()|uint64(j)<<32, 0)
+		prefixes = append(prefixes, ipaddr.PrefixFrom(a, 32))
+	}
+	return asHeader{
+		asn:      asn,
+		name:     fmt.Sprintf("%s-%d", orgShortName(org), asn),
+		org:      org,
+		prefixes: prefixes,
+	}
+}
+
+func pathologicalHeader(cfg Config) asHeader {
+	base := asBase(cfg.NumASes + 8)
+	return asHeader{
+		asn:      PathologicalASN,
+		name:     "isp-pathological-12322",
+		org:      asdb.OrgISP,
+		prefixes: []ipaddr.Prefix{ipaddr.PrefixFrom(base, 32)},
+	}
+}
+
+// asSkipBits is the depth the per-AS LPM tables start matching at: every
+// region prefix of an AS lives under its /28 block.
+const asSkipBits = 28
+
+// buildGroup materializes slot i: regions, death tables, and the flat LPM
+// routing table over them.
+func (w *World) buildGroup(i int) *regionGroup {
+	b := &builder{w: w, cfg: w.cfg, rng: w.asRNG(i)}
+	var hdr asHeader
+	if i == w.cfg.NumASes {
+		hdr = pathologicalHeader(w.cfg)
+		b.buildPathologicalAS()
+	} else {
+		hdr = b.buildAS(i)
+	}
+	tr := ipaddr.NewTrie()
+	for idx, r := range b.regions {
+		r.buildDeathTable()
+		tr.Insert(r.Prefix, idx)
+	}
+	lpm := ipaddr.BuildLPM(tr, asSkipBits, func(_ ipaddr.Prefix, v any) uint32 { return uint32(v.(int)) })
+	return &regionGroup{header: hdr, regions: b.regions, lpm: lpm}
+}
+
+// builder materializes one AS's regions from its per-AS RNG.
 type builder struct {
-	w   *World
-	cfg Config
-	rng *rand.Rand
+	w       *World
+	cfg     Config
+	rng     *rand.Rand
+	regions []*Region
 }
 
-func (b *builder) pickOrg() asdb.OrgType {
-	u := b.rng.Float64()
+func pickOrg(rng *rand.Rand) asdb.OrgType {
+	u := rng.Float64()
 	for _, ow := range orgWeights {
 		if u < ow.w {
 			return ow.typ
@@ -126,29 +207,17 @@ func asBase(i int) ipaddr.Addr {
 	return ipaddr.AddrFrom64s(hi, 0)
 }
 
-func (b *builder) buildAS(i int) {
-	org := b.pickOrg()
-	asn := 1000 + i*7
-	base := asBase(i)
+func (b *builder) buildAS(i int) asHeader {
+	org := pickOrg(b.rng)
 	// Allocate 1-3 /32s inside the AS's /28 block.
 	nPrefixes := 1 + b.rng.Intn(3)
-	prefixes := make([]ipaddr.Prefix, 0, nPrefixes)
-	for j := 0; j < nPrefixes; j++ {
-		a := ipaddr.AddrFrom64s(base.Hi()|uint64(j)<<32, 0)
-		prefixes = append(prefixes, ipaddr.PrefixFrom(a, 32))
-	}
-	b.w.asdb.Register(&asdb.AS{
-		Number:   asn,
-		Name:     fmt.Sprintf("%s-%d", orgShortName(org), asn),
-		Type:     org,
-		Prefixes: prefixes,
-	})
+	hdr := makeHeader(i, org, nPrefixes)
 
 	style := iidStyle(b.rng.Intn(int(styleCount)))
 	word := styleWordsChoices[b.rng.Intn(len(styleWordsChoices))]
 	service := [4]byte{byte(b.rng.Intn(16)), byte(b.rng.Intn(16)), byte(b.rng.Intn(16)), byte(b.rng.Intn(16))}
 
-	ctx := &asContext{asn: asn, org: org, style: style, word: word, service: service, prefixes: prefixes}
+	ctx := &asContext{asn: hdr.asn, org: org, style: style, word: word, service: service, prefixes: hdr.prefixes}
 
 	// Every AS has router infrastructure.
 	b.addRouterRegion(ctx)
@@ -205,6 +274,7 @@ func (b *builder) buildAS(i int) {
 			b.addDNSRegion(ctx)
 		}
 	}
+	return hdr
 }
 
 type asContext struct {
@@ -334,7 +404,7 @@ func (b *builder) addRouterRegion(ctx *asContext) {
 	density := 0.35 + b.rng.Float64()*0.4
 	// Routers: low IIDs under a spread of infrastructure subnets.
 	b.shape(&t, []int{31, 30, 12, 11, 13}, target/density)
-	b.w.regions = append(b.w.regions, &Region{
+	b.regions = append(b.regions, &Region{
 		Prefix:   p,
 		ASN:      ctx.asn,
 		Class:    ClassRouter,
@@ -372,7 +442,7 @@ func (b *builder) addCustomerRegion(ctx *asContext, k int) {
 		}
 	}
 	b.shape(&t, append(subnetPositions, iid...), target/density)
-	b.w.regions = append(b.w.regions, &Region{
+	b.regions = append(b.regions, &Region{
 		Prefix:   p,
 		ASN:      ctx.asn,
 		Class:    ClassISPCustomer,
@@ -403,7 +473,7 @@ func (b *builder) addWebRegion(ctx *asContext, k int, small bool) {
 	density := 0.3 + b.rng.Float64()*0.5
 	iid := b.iidPositions(ctx, &t)
 	b.shape(&t, append(iid, 13, 12), target/density)
-	b.w.regions = append(b.w.regions, &Region{
+	b.regions = append(b.regions, &Region{
 		Prefix:   p,
 		ASN:      ctx.asn,
 		Class:    ClassWebServer,
@@ -434,7 +504,7 @@ func (b *builder) addCDNRegion(ctx *asContext, k int) {
 	if b.rng.Float64() < 0.2 {
 		respRate = 0.4 + b.rng.Float64()*0.3 // rate-limited PoP
 	}
-	b.w.regions = append(b.w.regions, &Region{
+	b.regions = append(b.regions, &Region{
 		Prefix:   p,
 		ASN:      ctx.asn,
 		Class:    ClassCDNNode,
@@ -463,7 +533,7 @@ func (b *builder) addDNSRegion(ctx *asContext) {
 	t.Pin(30, 5)
 	t.Pin(31, 3)
 	b.shape(&t, []int{29, 28, 13, 12}, target/density)
-	b.w.regions = append(b.w.regions, &Region{
+	b.regions = append(b.regions, &Region{
 		Prefix:   p,
 		ASN:      ctx.asn,
 		Class:    ClassDNSServer,
@@ -484,7 +554,7 @@ func (b *builder) addDNSRegion(ctx *asContext) {
 }
 
 // addDarkRegion creates an existing-but-unresponsive block: its hosts are
-// observed by collectors (traceroute hops, stale AAAA records) yet answer
+// observed by collectors (traceroute hops, stale DNS records) yet answer
 // essentially nothing at scan time.
 func (b *builder) addDarkRegion(ctx *asContext) {
 	p := b.regionPrefix(ctx)
@@ -493,7 +563,7 @@ func (b *builder) addDarkRegion(ctx *asContext) {
 	density := 0.25 + b.rng.Float64()*0.5
 	iid := b.iidPositions(ctx, &t)
 	b.shape(&t, append([]int{12, 13, 14, 15}, iid...), target/density)
-	b.w.regions = append(b.w.regions, &Region{
+	b.regions = append(b.regions, &Region{
 		Prefix:   p,
 		ASN:      ctx.asn,
 		Class:    ClassDark,
@@ -516,7 +586,7 @@ func (b *builder) addDarkRegion(ctx *asContext) {
 func (b *builder) addEndhostRegion(ctx *asContext) {
 	p := b.regionPrefix(ctx)
 	t := TemplateFromPrefix(p) // fully random IIDs: privacy addresses
-	b.w.regions = append(b.w.regions, &Region{
+	b.regions = append(b.regions, &Region{
 		Prefix:   p,
 		ASN:      ctx.asn,
 		Class:    ClassEndhost,
@@ -549,7 +619,7 @@ func (b *builder) addAliasedRegion(ctx *asContext, k int, rateLimited bool) {
 	if b.rng.Float64() < 0.3 {
 		udp = 1
 	}
-	b.w.regions = append(b.w.regions, &Region{
+	b.regions = append(b.regions, &Region{
 		Prefix:   p,
 		ASN:      ctx.asn,
 		Class:    ClassCDNNode,
@@ -569,12 +639,6 @@ func (b *builder) addAliasedRegion(ctx *asContext, k int, rateLimited bool) {
 func (b *builder) buildPathologicalAS() {
 	base := asBase(b.cfg.NumASes + 8)
 	p := ipaddr.PrefixFrom(base, 36)
-	b.w.asdb.Register(&asdb.AS{
-		Number:   PathologicalASN,
-		Name:     "isp-pathological-12322",
-		Type:     asdb.OrgISP,
-		Prefixes: []ipaddr.Prefix{ipaddr.PrefixFrom(base, 32)},
-	})
 	t := baseTemplate(p)
 	// Five fully variable subnet nybbles over a fixed ::1 IID — a million
 	// subnets, hundreds of thousands of hosts discoverable from the pattern
@@ -583,7 +647,7 @@ func (b *builder) buildPathologicalAS() {
 		t.AllowMask(pos, 0xffff)
 	}
 	t.Pin(31, 1)
-	b.w.regions = append(b.w.regions, &Region{
+	b.regions = append(b.regions, &Region{
 		Prefix:   p,
 		ASN:      PathologicalASN,
 		Class:    ClassISPCustomer,

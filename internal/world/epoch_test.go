@@ -191,14 +191,10 @@ func TestFlapDowntimeIsTransient(t *testing.T) {
 		if u >= r.Density {
 			continue // only cohort 0 here
 		}
-		survivesAll := true
-		for s := 1; s <= maxEpoch; s++ {
-			if unit(w.churnHash(a, s)) < r.Churn {
-				survivesAll = false
-				break
-			}
-		}
-		if !survivesAll {
+		// Geometric survival: one draw against the cumulative death
+		// probability decides whether the host outlives every transition
+		// through maxEpoch.
+		if unit(w.churnHash(a)) < r.deathBy(maxEpoch) {
 			continue
 		}
 		checked++

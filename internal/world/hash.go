@@ -19,6 +19,9 @@ const (
 	tagRate
 	tagTCPSeq
 	tagFlap
+	// tagASSeed seeds the per-AS generator RNG, so each AS's regions can
+	// materialize lazily and independently of every other AS.
+	tagASSeed
 )
 
 // splitmix64 is the finalizer from Vigna's SplitMix64 generator; it is a

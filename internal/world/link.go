@@ -1,5 +1,7 @@
 package world
 
+import "seedscan/internal/probe"
+
 // WireLink adapts the world to the scanner's Link interface: every packet
 // sent is handled synchronously by the responder, and the replies come
 // back as received packets. It is the in-process stand-in for a raw
@@ -19,9 +21,20 @@ func (l *WireLink) Exchange(pkt []byte) [][]byte { return l.w.HandlePacket(pkt) 
 // exactly equivalent to one Exchange per packet — the batched scanner hot
 // path changes nothing about what the world observes or answers.
 func (l *WireLink) ExchangeBatch(pkts [][]byte) [][][]byte {
+	var rb probe.ReplyBuf
+	l.w.HandleBatch(pkts, &rb)
 	replies := make([][][]byte, len(pkts))
-	for i, pkt := range pkts {
-		replies[i] = l.w.HandlePacket(pkt)
+	for i := range pkts {
+		if r := rb.Reply(i); r != nil {
+			replies[i] = [][]byte{r}
+		}
 	}
 	return replies
+}
+
+// ExchangeBatchInto implements the scanner's ArenaLink: the whole batch is
+// answered into the caller-owned rb with no per-packet allocation. Replies
+// alias rb's arena and are valid until its next Reset.
+func (l *WireLink) ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf) {
+	l.w.HandleBatch(pkts, rb)
 }

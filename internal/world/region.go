@@ -2,6 +2,7 @@ package world
 
 import (
 	"fmt"
+	"math"
 
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
@@ -86,6 +87,54 @@ type Region struct {
 	// this region draw an ICMP Destination Unreachable from the region's
 	// router.
 	SendsUnreach float64
+
+	// death memoizes the cumulative death probability by host age:
+	// death[k] is the chance a host has died within k epoch transitions
+	// under geometric survival at rate Churn. Built once per region so the
+	// per-packet existence check never loops over epochs.
+	death []float64
+}
+
+// deathTableEpochs bounds the memoized death table; ages beyond it fall
+// back to the closed form (clamped monotone against the table tail).
+const deathTableEpochs = 64
+
+// buildDeathTable precomputes the cumulative churn factors. Called once
+// when a region materializes; deathBy stays correct (just slower and
+// float-derived for k > 1) when it never runs.
+func (r *Region) buildDeathTable() {
+	if r.Churn <= 0 || r.Aliased {
+		return
+	}
+	d := make([]float64, deathTableEpochs+1)
+	d[1] = r.Churn // exactly Churn: epochs 0/1 must stay hash-identical
+	surv := 1 - r.Churn
+	for k := 2; k <= deathTableEpochs; k++ {
+		surv *= 1 - r.Churn
+		d[k] = 1 - surv
+	}
+	r.death = d
+}
+
+// deathBy returns the probability a host has died within k epoch
+// transitions of its birth: 1-(1-Churn)^k, memoized.
+func (r *Region) deathBy(k int) float64 {
+	if k <= 0 || r.Churn <= 0 {
+		return 0
+	}
+	if k == 1 {
+		return r.Churn
+	}
+	if k < len(r.death) {
+		return r.death[k]
+	}
+	v := 1 - math.Pow(1-r.Churn, float64(k))
+	// Clamp against the table tail so the closed form can never dip below
+	// a memoized value by an ulp and resurrect a dead host.
+	if n := len(r.death); n > 0 && v < r.death[n-1] {
+		v = r.death[n-1]
+	}
+	return v
 }
 
 // ExpectedHosts estimates the number of existing hosts in the region (at

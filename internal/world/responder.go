@@ -1,43 +1,85 @@
 package world
 
 import (
+	"encoding/binary"
+
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/probe"
 	"seedscan/internal/proto"
 )
 
-// HandlePacket is the world's network interface: it receives one raw IPv6
-// probe and returns zero or one raw reply packets, exactly as the live
-// Internet would answer a Scanv6 probe. Replies include Echo Replies,
-// SYN-ACKs, RSTs (closed ports on live hosts), DNS responses, and ICMP
-// Destination Unreachables from region routers; per the paper's
-// methodology the scanner counts only the first three kinds of positive
-// response as hits.
+// HandleBatch is the world's batched network interface: it receives a batch
+// of raw IPv6 probes and records at most one raw reply per probe into the
+// caller-owned rb, exactly as the live Internet would answer Scanv6 probes.
+// Replies include Echo Replies, SYN-ACKs, RSTs (closed ports on live
+// hosts), DNS responses, and ICMP Destination Unreachables from region
+// routers; per the paper's methodology the scanner counts only the first
+// three kinds of positive response as hits.
 //
-// Loss and rate limiting are deterministic functions of the probe's
-// destination and its varying cookie field, so retries genuinely re-roll.
-// HandlePacket is safe for concurrent use.
-func (w *World) HandlePacket(pkt []byte) [][]byte {
-	p, err := probe.Parse(pkt)
-	if err != nil {
-		return nil // the Internet silently drops malformed probes
+// Loss and rate limiting are deterministic functions of each probe's
+// destination and its varying cookie field, so retries genuinely re-roll,
+// and answering a batch is exactly equivalent to one HandlePacket per
+// packet. rb is reset to the batch size; replies alias its arena and stay
+// valid until its next Reset. HandleBatch is safe for concurrent use as
+// long as each concurrent caller owns its rb.
+func (w *World) HandleBatch(pkts [][]byte, rb *probe.ReplyBuf) {
+	rb.Reset(len(pkts))
+	replies := 0
+	for i, pkt := range pkts {
+		if w.handleInto(pkt, rb, i) {
+			replies++
+		}
 	}
-	dst := p.Header.Dst
+	if t := w.tele.Load(); t != nil {
+		t.batches.Inc()
+		t.batchPackets.Add(int64(len(pkts)))
+		t.batchReplies.Add(int64(replies))
+	}
+}
+
+// HandlePacket answers one probe, allocating the reply. It is the
+// single-packet convenience form of HandleBatch — byte-for-byte the same
+// replies — for callers without a reusable ReplyBuf.
+func (w *World) HandlePacket(pkt []byte) [][]byte {
+	var rb probe.ReplyBuf
+	rb.Reset(1)
+	if !w.handleInto(pkt, &rb, 0) {
+		return nil
+	}
+	return [][]byte{rb.Reply(0)}
+}
+
+// handleInto answers pkts[i] into rb, reporting whether a reply was
+// recorded. Routing runs before parsing: the destination comes straight
+// off the fixed IPv6 header, so probes into unrouted space (the common case
+// in brute-force scans) never pay for L4 parsing or checksum verification.
+func (w *World) handleInto(pkt []byte, rb *probe.ReplyBuf, i int) bool {
+	if len(pkt) < probe.IPv6HeaderLen {
+		return false // the Internet silently drops malformed probes
+	}
+	dst := ipaddr.AddrFrom64s(
+		binary.BigEndian.Uint64(pkt[24:32]),
+		binary.BigEndian.Uint64(pkt[32:40]),
+	)
 	r, ok := w.RegionOf(dst)
 	if !ok {
-		return nil // unrouted: silence
+		return false // unrouted: silence
+	}
+	p, err := probe.Parse(pkt)
+	if err != nil {
+		return false
 	}
 	epoch := w.Epoch()
 
 	switch p.Kind {
 	case probe.KindEchoRequest:
-		return w.answerEcho(p, r, dst, epoch)
+		return w.answerEcho(p, r, dst, epoch, pkt, rb, i)
 	case probe.KindTCPSyn:
-		return w.answerSyn(p, r, dst, epoch, pkt)
+		return w.answerSyn(p, r, dst, epoch, pkt, rb, i)
 	case probe.KindDNSQuery:
-		return w.answerDNS(p, r, dst, epoch, pkt)
+		return w.answerDNS(p, r, dst, epoch, pkt, rb, i)
 	}
-	return nil
+	return false
 }
 
 // delivered applies transit loss and the region's response rate. The vary
@@ -53,29 +95,23 @@ func (w *World) delivered(r *Region, dst ipaddr.Addr, pr proto.Protocol, vary ui
 	return true
 }
 
-func (w *World) answerEcho(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int) [][]byte {
+func (w *World) answerEcho(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int, raw []byte, rb *probe.ReplyBuf, i int) bool {
 	if !w.delivered(r, dst, proto.ICMP, uint64(p.EchoSeq)) {
-		return nil
+		return false
 	}
 	if w.activeOn(dst, r, proto.ICMP, epoch) {
-		reply := probe.BuildEchoReply(dst, p.Header.Src, p.EchoID, p.EchoSeq, p.Payload)
-		return [][]byte{reply}
+		rb.PutEchoReply(i, dst, p.Header.Src, p.EchoID, p.EchoSeq, p.Payload)
+		return true
 	}
 	if !w.existsAt(dst, r, epoch) &&
 		unit(mix64(w.seed, tagUnreach, dst.Hi(), dst.Lo())) < r.SendsUnreach {
-		un := probe.BuildUnreachable(r.RouterAddr(), p.Header.Src, probe.UnreachAddr, echoInvoking(p))
-		return [][]byte{un}
+		rb.PutUnreachable(i, r.RouterAddr(), p.Header.Src, probe.UnreachAddr, raw)
+		return true
 	}
-	return nil
+	return false
 }
 
-// echoInvoking reconstructs enough of the invoking packet for the
-// unreachable quote.
-func echoInvoking(p probe.Packet) []byte {
-	return probe.BuildEchoRequest(p.Header.Src, p.Header.Dst, p.EchoID, p.EchoSeq, p.Payload)
-}
-
-func (w *World) answerSyn(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int, raw []byte) [][]byte {
+func (w *World) answerSyn(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int, raw []byte, rb *probe.ReplyBuf, i int) bool {
 	var pr proto.Protocol
 	switch p.DstPort {
 	case 80:
@@ -86,50 +122,50 @@ func (w *World) answerSyn(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int,
 		// Port outside the study: a live host may RST, otherwise silence.
 		if w.existsAt(dst, r, epoch) &&
 			unit(mix64(w.seed, tagRST, dst.Hi(), dst.Lo(), uint64(p.DstPort))) < r.SendsRST {
-			rst := probe.BuildTCPRst(dst, p.Header.Src, p.DstPort, p.SrcPort, 0, p.TCPSeq+1)
-			return [][]byte{rst}
+			rb.PutTCPRst(i, dst, p.Header.Src, p.DstPort, p.SrcPort, 0, p.TCPSeq+1)
+			return true
 		}
-		return nil
+		return false
 	}
 	if !w.delivered(r, dst, pr, uint64(p.TCPSeq)) {
-		return nil
+		return false
 	}
 	if w.activeOn(dst, r, pr, epoch) {
 		seq := uint32(mix64(w.seed, tagTCPSeq, dst.Hi(), dst.Lo(), uint64(p.TCPSeq)))
-		sa := probe.BuildTCPSynAck(dst, p.Header.Src, p.DstPort, p.SrcPort, seq, p.TCPSeq+1)
-		return [][]byte{sa}
+		rb.PutTCPSynAck(i, dst, p.Header.Src, p.DstPort, p.SrcPort, seq, p.TCPSeq+1)
+		return true
 	}
 	if w.existsAt(dst, r, epoch) {
 		// Live host, closed port: RST per the region's firewalling habits.
 		if unit(mix64(w.seed, tagRST, dst.Hi(), dst.Lo(), uint64(p.DstPort))) < r.SendsRST {
-			rst := probe.BuildTCPRst(dst, p.Header.Src, p.DstPort, p.SrcPort, 0, p.TCPSeq+1)
-			return [][]byte{rst}
+			rb.PutTCPRst(i, dst, p.Header.Src, p.DstPort, p.SrcPort, 0, p.TCPSeq+1)
+			return true
 		}
-		return nil
+		return false
 	}
 	if unit(mix64(w.seed, tagUnreach, dst.Hi(), dst.Lo())) < r.SendsUnreach {
-		un := probe.BuildUnreachable(r.RouterAddr(), p.Header.Src, probe.UnreachAddr, raw)
-		return [][]byte{un}
+		rb.PutUnreachable(i, r.RouterAddr(), p.Header.Src, probe.UnreachAddr, raw)
+		return true
 	}
-	return nil
+	return false
 }
 
-func (w *World) answerDNS(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int, raw []byte) [][]byte {
+func (w *World) answerDNS(p probe.Packet, r *Region, dst ipaddr.Addr, epoch int, raw []byte, rb *probe.ReplyBuf, i int) bool {
 	if p.DstPort != 53 {
-		return nil
+		return false
 	}
 	if !w.delivered(r, dst, proto.UDP53, uint64(p.DNSID)) {
-		return nil
+		return false
 	}
 	if w.activeOn(dst, r, proto.UDP53, epoch) {
-		resp := probe.BuildDNSResponse(dst, p.Header.Src, p.SrcPort, p.DNSID, p.Payload)
-		return [][]byte{resp}
+		rb.PutDNSResponse(i, dst, p.Header.Src, p.SrcPort, p.DNSID, p.Payload)
+		return true
 	}
 	if w.existsAt(dst, r, epoch) &&
 		unit(mix64(w.seed, tagUnreach, dst.Hi(), dst.Lo(), uint64(p.DstPort))) < r.SendsUnreach {
 		// Live host without a resolver: ICMP port unreachable from the host.
-		un := probe.BuildUnreachable(dst, p.Header.Src, probe.UnreachPort, raw)
-		return [][]byte{un}
+		rb.PutUnreachable(i, dst, p.Header.Src, probe.UnreachPort, raw)
+		return true
 	}
-	return nil
+	return false
 }

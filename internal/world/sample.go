@@ -43,7 +43,7 @@ func (w *World) NewSampler(seed uint64, classes ...HostClass) *Sampler {
 	}
 	s := &Sampler{w: w, rng: rand.New(rand.NewSource(int64(seed)))}
 	total := 0.0
-	for _, r := range w.regions {
+	for _, r := range w.materializeAll() {
 		if len(classes) > 0 && !want[r.Class] {
 			continue
 		}

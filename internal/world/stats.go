@@ -38,12 +38,13 @@ type ClassStats struct {
 
 // Stats computes the ground-truth summary.
 func (w *World) Stats() Stats {
+	all := w.materializeAll()
 	s := Stats{
-		ASes:    w.asdb.Len(),
-		Regions: len(w.regions),
+		ASes:    w.ASDB().Len(),
+		Regions: len(all),
 		ByClass: make(map[HostClass]ClassStats),
 	}
-	for _, r := range w.regions {
+	for _, r := range all {
 		if r.Aliased {
 			s.AliasedRegions++
 			continue
@@ -91,7 +92,7 @@ func (s Stats) String() string {
 // RegionsByASN returns the regions originated by one AS.
 func (w *World) RegionsByASN(asn int) []*Region {
 	var out []*Region
-	for _, r := range w.regions {
+	for _, r := range w.materializeAll() {
 		if r.ASN == asn {
 			out = append(out, r)
 		}

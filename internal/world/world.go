@@ -14,9 +14,15 @@
 // no enumeration, scans are reproducible, and the structure TGAs exploit in
 // the wild — hierarchical pattern locality, per-port service skew, aliases
 // clustered near dense patterns — is present by construction.
+//
+// The world is also lazy: New allocates nothing but a slot table, and each
+// AS's regions materialize on first contact from a per-AS deterministic
+// seed. That keeps the build cost flat while Config.SizeScale and
+// Config.NumASes grow the expected host population to 10^8 and beyond.
 package world
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"seedscan/internal/asdb"
@@ -42,22 +48,81 @@ const (
 // dead one — the signal longitudinal trackers estimate.
 const flapFraction = 0.5
 
-// World is the simulated Internet. Safe for concurrent use; the only
-// mutable state is the current epoch.
+// World is the simulated Internet. Safe for concurrent use; the mutable
+// state is the current epoch plus the lazily-materialized region groups,
+// which build deterministically (concurrent builders of the same group
+// produce identical groups; one wins the publish).
 type World struct {
 	seed     uint64
-	regions  []*Region
-	trie     *ipaddr.Trie // Prefix -> *Region (longest match wins)
-	asdb     *asdb.DB
+	cfg      Config // defaults filled
 	lossRate float64
 	epoch    atomic.Int32
+
+	// groups holds one lazily-built region group per AS: slots 0..NumASes-1
+	// are the normal ASes, slot NumASes is the pathological AS12322
+	// analogue.
+	groups []atomic.Pointer[regionGroup]
+
+	asdbOnce sync.Once
+	asdbVal  *asdb.DB
+
+	allOnce sync.Once
+	allVal  []*Region
+
+	tele atomic.Pointer[worldTele]
 }
 
-// ASDB returns the AS registry backing the world.
-func (w *World) ASDB() *asdb.DB { return w.asdb }
+// regionGroup is one AS's materialized slice of the world: its registry
+// header, its regions, and a flat LPM table routing addresses under the
+// AS's /28 to a region index.
+type regionGroup struct {
+	header  asHeader
+	regions []*Region
+	lpm     *ipaddr.LPMTable
+}
 
-// Regions returns all regions. Callers must not mutate them.
-func (w *World) Regions() []*Region { return w.regions }
+// ASDB returns the AS registry backing the world, built lazily from the
+// per-AS headers (no region materialization).
+func (w *World) ASDB() *asdb.DB {
+	w.asdbOnce.Do(func() {
+		db := asdb.New()
+		for i := 0; i <= w.cfg.NumASes; i++ {
+			h := w.headerOf(i)
+			db.Register(&asdb.AS{Number: h.asn, Name: h.name, Type: h.org, Prefixes: h.prefixes})
+		}
+		w.asdbVal = db
+	})
+	return w.asdbVal
+}
+
+// Regions returns all regions, materializing any group not yet built. The
+// returned slice is a fresh copy — callers may reorder it freely, but must
+// not mutate the regions themselves.
+func (w *World) Regions() []*Region {
+	all := w.materializeAll()
+	out := make([]*Region, len(all))
+	copy(out, all)
+	return out
+}
+
+// materializeAll builds every region group once and caches the combined
+// list in canonical order (AS 0..N-1, then the pathological AS).
+func (w *World) materializeAll() []*Region {
+	w.allOnce.Do(func() {
+		n := 0
+		groups := make([]*regionGroup, len(w.groups))
+		for i := range w.groups {
+			groups[i] = w.group(i)
+			n += len(groups[i].regions)
+		}
+		all := make([]*Region, 0, n)
+		for _, g := range groups {
+			all = append(all, g.regions...)
+		}
+		w.allVal = all
+	})
+	return w.allVal
+}
 
 // Seed returns the world seed.
 func (w *World) Seed() uint64 { return w.seed }
@@ -69,13 +134,49 @@ func (w *World) SetEpoch(e int) { w.epoch.Store(int32(e)) }
 // Epoch returns the current epoch.
 func (w *World) Epoch() int { return int(w.epoch.Load()) }
 
-// RegionOf returns the deepest region containing a.
+// spineIndex maps an address to the group slot owning its /28, or -1 for
+// unrouted space. AS i's /28 base is asBase(i), so the spine is pure
+// arithmetic — no trie walk decides which AS a packet belongs to.
+func (w *World) spineIndex(a ipaddr.Addr) int {
+	i := int64(a.Hi()>>36) - 0x2000000 - 1
+	if i >= 0 && i < int64(w.cfg.NumASes) {
+		return int(i)
+	}
+	if i == int64(w.cfg.NumASes+8) {
+		return w.cfg.NumASes // the pathological AS's slot
+	}
+	return -1
+}
+
+// group returns slot i's region group, building it on first use. Builds
+// are deterministic, so a lost publish race costs only the duplicate work.
+func (w *World) group(i int) *regionGroup {
+	if g := w.groups[i].Load(); g != nil {
+		return g
+	}
+	g := w.buildGroup(i)
+	if w.groups[i].CompareAndSwap(nil, g) {
+		if t := w.tele.Load(); t != nil {
+			t.groupsMat.Inc()
+		}
+		return g
+	}
+	return w.groups[i].Load()
+}
+
+// RegionOf returns the deepest region containing a: an arithmetic spine
+// hop to the owning AS, then one flat LPM lookup within it.
 func (w *World) RegionOf(a ipaddr.Addr) (*Region, bool) {
-	v, ok := w.trie.Lookup(a)
+	i := w.spineIndex(a)
+	if i < 0 {
+		return nil, false
+	}
+	g := w.group(i)
+	v, ok := g.lpm.Lookup(a)
 	if !ok {
 		return nil, false
 	}
-	return v.(*Region), true
+	return g.regions[v], true
 }
 
 // existsAt reports whether address a inside region r is an existing host at
@@ -87,12 +188,15 @@ func (w *World) RegionOf(a ipaddr.Addr) (*Region, bool) {
 // alive at the collection epoch. The band [Density·(1+(t-1)·Birth),
 // Density·(1+t·Birth)) is cohort t: born at epoch t, so each epoch
 // transition births a fresh disjoint slice of the axis. A cohort-t host
-// then survives each later transition s (s > t) unless its per-transition
-// churn hash falls under the region's Churn rate — deaths are permanent.
-// On top of that, a living host may flap: at epochs >= 2 it is down for
-// exactly one epoch with probability Churn·flapFraction, independently per
-// epoch. At epochs 0 and 1 all of this reduces to the original two-epoch
-// model, hash for hash.
+// observed at epoch e > t has survived e-t transitions, each independently
+// at rate Churn — geometric survival, evaluated in one draw against the
+// memoized cumulative death probability deathBy(e-t) instead of one draw
+// per transition. Deaths are permanent (deathBy is monotone in age, the
+// draw is fixed per address). On top of that, a living host may flap: at
+// epochs >= 2 it is down for exactly one epoch with probability
+// Churn·flapFraction, independently per epoch. At epochs 0 and 1 all of
+// this reduces to the original two-epoch model, hash for hash (deathBy(1)
+// is exactly Churn, against the original epoch-free churn hash).
 func (w *World) existsAt(a ipaddr.Addr, r *Region, epoch int) bool {
 	if r.Aliased {
 		return true
@@ -116,10 +220,8 @@ func (w *World) existsAt(a ipaddr.Addr, r *Region, epoch int) bool {
 			born = epoch // float-edge guard; the band check above bounds it
 		}
 	}
-	for t := born + 1; t <= epoch; t++ {
-		if unit(w.churnHash(a, t)) < r.Churn {
-			return false
-		}
+	if epoch > born && unit(w.churnHash(a)) < r.deathBy(epoch-born) {
+		return false
 	}
 	if epoch >= 2 && r.Churn > 0 &&
 		unit(mix64(w.seed, tagFlap, a.Hi(), a.Lo(), uint64(epoch))) < r.Churn*flapFraction {
@@ -128,15 +230,12 @@ func (w *World) existsAt(a ipaddr.Addr, r *Region, epoch int) bool {
 	return true
 }
 
-// churnHash is the per-transition death roll for the epoch t-1 -> t
-// transition. The first transition keeps the original epoch-free hash so
-// the two-epoch experiments stay byte-identical; later transitions fold
-// the epoch in for independent per-epoch churn.
-func (w *World) churnHash(a ipaddr.Addr, t int) uint64 {
-	if t == 1 {
-		return mix64(w.seed, tagChurn, a.Hi(), a.Lo())
-	}
-	return mix64(w.seed, tagChurn, a.Hi(), a.Lo(), uint64(t))
+// churnHash is the per-address death draw, compared against the cumulative
+// death probability for the host's age. It is the original epoch-free
+// churn hash, so the first transition stays byte-identical to the
+// two-epoch experiments.
+func (w *World) churnHash(a ipaddr.Addr) uint64 {
+	return mix64(w.seed, tagChurn, a.Hi(), a.Lo())
 }
 
 // ExistsAt reports whether a is an existing host at the given epoch.
@@ -200,7 +299,7 @@ func (w *World) IsAliased(a ipaddr.Addr) bool {
 // the IPv6 Hitlist's incomplete published list.
 func (w *World) AliasedPrefixes() []ipaddr.Prefix {
 	var out []ipaddr.Prefix
-	for _, r := range w.regions {
+	for _, r := range w.materializeAll() {
 		if r.Aliased {
 			out = append(out, r.Prefix)
 		}
@@ -208,5 +307,17 @@ func (w *World) AliasedPrefixes() []ipaddr.Prefix {
 	return out
 }
 
-// ASNOf returns the AS number originating a.
-func (w *World) ASNOf(a ipaddr.Addr) (int, bool) { return w.asdb.Lookup(a) }
+// ASNOf returns the AS number originating a. Pure spine arithmetic plus
+// the group header — it never consults the full registry.
+func (w *World) ASNOf(a ipaddr.Addr) (int, bool) {
+	i := w.spineIndex(a)
+	if i < 0 {
+		return 0, false
+	}
+	slot := int(a.Hi()>>32) & 0xf
+	h := w.headerOf(i)
+	if slot >= len(h.prefixes) {
+		return 0, false // inside the AS's /28 but no /32 announced there
+	}
+	return h.asn, true
+}
