@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scanner bench-world bench-cluster bench-tga bench-grid bench-serve bench-daemon cover experiments clean
+.PHONY: all build vet test race bench bench-scanner bench-world bench-cluster bench-tga bench-grid bench-serve bench-daemon bench-wire cover experiments clean
 
 all: vet build test
 
@@ -77,6 +77,14 @@ bench-serve:
 bench-daemon:
 	$(GO) test -run '^TestWriteDaemonBenchBaseline$$' -count=1 -v \
 		-daemon-bench-out BENCH_daemon.json .
+
+# Regenerate the committed wire-layer baseline: the canonical arena link
+# bare vs behind an empty chain and each middleware. Fails if composing
+# an empty chain costs more than 5% of bare-link throughput (the
+# zero-overhead guarantee), measured in the same run.
+bench-wire:
+	$(GO) test -run '^TestWriteWireBenchBaseline$$' -count=1 -v \
+		-wire-bench-out BENCH_wire.json .
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

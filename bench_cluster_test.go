@@ -27,6 +27,7 @@ import (
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
+	"seedscan/internal/wire"
 )
 
 // clusterBenchTargets × 3 attempts is the per-run packet count.
@@ -78,7 +79,7 @@ func pacedPool(n int) *cluster.Pool {
 	cfg := cluster.Config{Secret: 7, ShardSize: 1024}
 	workers := make([]cluster.Worker, n)
 	for i := range workers {
-		s := scanner.New(newPacedLink(pacedLinkPPS),
+		s := scanner.New(wire.Promote(newPacedLink(pacedLinkPPS)),
 			scanner.WithSecret(7))
 		workers[i] = cluster.NewLocalWorker(fmt.Sprintf("w%d", i), s)
 	}

@@ -29,6 +29,7 @@ import (
 	"seedscan/internal/probe"
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
+	"seedscan/internal/wire"
 	"seedscan/internal/world"
 )
 
@@ -228,14 +229,14 @@ func BenchmarkScannerHotPath(b *testing.B) {
 		b.ReportMetric(pktsPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
 	}
 	b.Run("dispatch-batched", func(b *testing.B) {
-		s := scanner.New(silentBatchLink{}, scanner.WithSecret(7))
+		s := scanner.New(wire.Promote(silentBatchLink{}), scanner.WithSecret(7))
 		for i := 0; i < b.N; i++ {
 			s.Scan(targets, proto.ICMP)
 		}
 		report(b)
 	})
 	b.Run("dispatch-unbatched", func(b *testing.B) {
-		s := scanner.New(silentLink{}, scanner.WithSecret(7))
+		s := scanner.New(wire.Promote(silentLink{}), scanner.WithSecret(7))
 		for i := 0; i < b.N; i++ {
 			s.Scan(targets, proto.ICMP)
 		}
@@ -350,14 +351,14 @@ func TestWriteScannerBenchBaseline(t *testing.T) {
 		}),
 		measure("dispatch-unbatched", func(b *testing.B) {
 			b.ReportAllocs()
-			s := scanner.New(silentLink{}, scanner.WithSecret(7))
+			s := scanner.New(wire.Promote(silentLink{}), scanner.WithSecret(7))
 			for i := 0; i < b.N; i++ {
 				s.Scan(targets, proto.ICMP)
 			}
 		}),
 		measure("dispatch-batched", func(b *testing.B) {
 			b.ReportAllocs()
-			s := scanner.New(silentBatchLink{}, scanner.WithSecret(7))
+			s := scanner.New(wire.Promote(silentBatchLink{}), scanner.WithSecret(7))
 			for i := 0; i < b.N; i++ {
 				s.Scan(targets, proto.ICMP)
 			}

@@ -1,0 +1,143 @@
+// Wire-layer benchmarks and the BENCH_wire.json baseline writer.
+//
+// The rows measure the canonical arena link bare, behind an empty chain
+// (which must be free: Chain returns the base link itself), and behind
+// each middleware, all against the world's reply path at the scanner
+// dispatch shape (4096 targets x 3 attempts per op). The committed gate
+// is the empty-chain row: composing zero middlewares may cost at most 5%
+// of bare-link throughput, measured in-run so machine differences cannot
+// flake it.
+//
+// `make bench-wire` regenerates BENCH_wire.json from these measurements.
+package seedscan
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
+	"seedscan/internal/wire"
+	"seedscan/internal/world"
+)
+
+// wireBenchLinks builds one world and the chained link variants measured
+// against it.
+func wireBenchLinks() (*world.World, map[string]wire.Link) {
+	w := world.New(world.Config{Seed: 42, NumASes: 60, LossRate: 0})
+	rot, err := wire.NewSourceRotator(7,
+		ipaddr.MustParse("2001:db8:feed::1"),
+		ipaddr.MustParse("2001:db8:feed::2"))
+	if err != nil {
+		panic(err)
+	}
+	return w, map[string]wire.Link{
+		"bare-link":   w.Link(),
+		"empty-chain": wire.Chain(w.Link()),
+		"tap":         wire.Chain(w.Link(), wire.NewTap(nil)),
+		"shaper":      wire.Chain(w.Link(), wire.NewShaper(1_000_000, 0.1, 3)),
+		"rotator":     wire.Chain(w.Link(), rot),
+		"faults":      wire.Chain(w.Link(), wire.NewFaults(wire.FaultsConfig{Seed: 5, Loss: 0.05, Dupe: 0.01})),
+	}
+}
+
+// wireBenchOrder fixes row order for the baseline file.
+var wireBenchOrder = []string{"bare-link", "empty-chain", "tap", "shaper", "rotator", "faults"}
+
+func BenchmarkWireChain(b *testing.B) {
+	_, links := wireBenchLinks()
+	targets := silentTargets()
+	for _, name := range wireBenchOrder {
+		link := links[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			s := scanner.New(link, scanner.WithSecret(7))
+			for i := 0; i < b.N; i++ {
+				s.Scan(targets, proto.ICMP)
+			}
+			b.ReportMetric(float64(3*len(targets))*float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+		})
+	}
+}
+
+// --- BENCH_wire.json baseline writer ---
+
+var wireBenchOut = flag.String("wire-bench-out", "",
+	"write the wire-layer baseline JSON to this path (see make bench-wire)")
+
+// wireBenchBaseline is the BENCH_wire.json schema; the overhead field is
+// the acceptance metric (empty chain vs bare link, same run).
+type wireBenchBaseline struct {
+	Schema           string       `json:"schema"`
+	GoVersion        string       `json:"go_version"`
+	CPUs             int          `json:"cpus"`
+	TargetsPerOp     int          `json:"targets_per_op"`
+	PacketsPerOp     int          `json:"packets_per_op"`
+	Results          []benchEntry `json:"results"`
+	EmptyChainVsBare float64      `json:"empty_chain_vs_bare"`
+	TapVsBare        float64      `json:"tap_vs_bare"`
+}
+
+// TestWriteWireBenchBaseline regenerates BENCH_wire.json when run with
+// -wire-bench-out (wired to `make bench-wire`); otherwise it is skipped.
+// It fails if composing an empty chain costs more than 5% of bare-link
+// throughput — the tentpole's zero-overhead guarantee.
+func TestWriteWireBenchBaseline(t *testing.T) {
+	if *wireBenchOut == "" {
+		t.Skip("pass -wire-bench-out to regenerate BENCH_wire.json")
+	}
+	_, links := wireBenchLinks()
+	targets := silentTargets()
+	pktsPerOp := 3 * len(targets)
+
+	byName := map[string]benchEntry{}
+	out := wireBenchBaseline{
+		Schema:       "seedscan-bench-wire/v1",
+		GoVersion:    runtime.Version(),
+		CPUs:         runtime.NumCPU(),
+		TargetsPerOp: len(targets),
+		PacketsPerOp: pktsPerOp,
+	}
+	for _, name := range wireBenchOrder {
+		link := links[name]
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s := scanner.New(link, scanner.WithSecret(7))
+			for i := 0; i < b.N; i++ {
+				s.Scan(targets, proto.ICMP)
+			}
+		})
+		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		e := benchEntry{
+			Name:        name,
+			NsPerOp:     nsOp,
+			PktsPerSec:  float64(pktsPerOp) / (nsOp / 1e9),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		byName[name] = e
+		out.Results = append(out.Results, e)
+	}
+	out.EmptyChainVsBare = byName["empty-chain"].PktsPerSec / byName["bare-link"].PktsPerSec
+	out.TapVsBare = byName["tap"].PktsPerSec / byName["bare-link"].PktsPerSec
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*wireBenchOut, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s: bare %.2fM pkts/sec, empty chain %.2fx, tap %.2fx\n",
+		*wireBenchOut, byName["bare-link"].PktsPerSec/1e6, out.EmptyChainVsBare, out.TapVsBare)
+	if out.EmptyChainVsBare < 0.95 {
+		t.Errorf("empty chain at %.3fx of bare-link throughput, below the 0.95x acceptance floor",
+			out.EmptyChainVsBare)
+	}
+}

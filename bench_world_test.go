@@ -26,6 +26,7 @@ import (
 	"seedscan/internal/probe"
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
+	"seedscan/internal/wire"
 	"seedscan/internal/world"
 )
 
@@ -97,7 +98,7 @@ func BenchmarkWorldReplyPath(b *testing.B) {
 	report := func(b *testing.B, pktsPerOp int) {
 		b.ReportMetric(float64(pktsPerOp)*float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
 	}
-	run := func(name string, link scanner.Link, targets []ipaddr.Addr) {
+	run := func(name string, link wire.Link, targets []ipaddr.Addr) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			s := scanner.New(link, scanner.WithSecret(7))
@@ -107,9 +108,9 @@ func BenchmarkWorldReplyPath(b *testing.B) {
 			report(b, 3*len(targets))
 		})
 	}
-	run("unrouted-legacy", newLegacyWorldLink(w), silentTargets())
+	run("unrouted-legacy", wire.Promote(newLegacyWorldLink(w)), silentTargets())
 	run("unrouted-batched", w.Link(), silentTargets())
-	run("routed-legacy", newLegacyWorldLink(w), routedTargets(w))
+	run("routed-legacy", wire.Promote(newLegacyWorldLink(w)), routedTargets(w))
 	run("routed-batched", w.Link(), routedTargets(w))
 }
 
@@ -162,7 +163,7 @@ func TestWriteWorldBenchBaseline(t *testing.T) {
 	routed := routedTargets(w)
 	pktsPerOp := 3 * len(silent)
 
-	measure := func(name string, targets []ipaddr.Addr, link scanner.Link) benchEntry {
+	measure := func(name string, targets []ipaddr.Addr, link wire.Link) benchEntry {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			s := scanner.New(link, scanner.WithSecret(7))
@@ -189,9 +190,9 @@ func TestWriteWorldBenchBaseline(t *testing.T) {
 		ScanBaselinePktsPerSec: scanBaselinePktsPerSec,
 	}
 	out.Results = append(out.Results,
-		measure("unrouted-legacy", silent, newLegacyWorldLink(w)),
+		measure("unrouted-legacy", silent, wire.Promote(newLegacyWorldLink(w))),
 		measure("unrouted-batched", silent, w.Link()),
-		measure("routed-legacy", routed, newLegacyWorldLink(w)),
+		measure("routed-legacy", routed, wire.Promote(newLegacyWorldLink(w))),
 		measure("routed-batched", routed, w.Link()),
 	)
 	legacy, batched := out.Results[0], out.Results[1]

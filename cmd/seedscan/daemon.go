@@ -36,6 +36,7 @@ func cmdDaemon(args []string) error {
 	state := fs.String("state", "daemon-state", "checkpoint directory; re-running resumes from it")
 	publish := fs.String("publish", "hitlistdb", "hitlistdb store directory to publish each epoch into (empty disables publishing)")
 	keep := fs.Int("keep", 3, "published generation files to retain on disk")
+	wo := wireFlags(fs)
 	fs.Parse(args)
 
 	p, err := proto.Parse(*protoName)
@@ -53,7 +54,14 @@ func cmdDaemon(args []string) error {
 	ctx, stop := signalContext()
 	defer stop()
 
-	env := buildEnvTele(*seed, *ases, *scale, 0, tr)
+	wc, err := wo.build(*seed, tr.Registry())
+	if err != nil {
+		return err
+	}
+	// Fault-injecting chains change scan outcomes but not the environment
+	// fingerprint, so -state checkpoints written under different -wire-*
+	// flags would replay stale cells; point faulted runs at a fresh -state.
+	env := buildEnvWire(*seed, *ases, *scale, 0, tr, wc.mws)
 
 	if err := os.MkdirAll(*state, 0o755); err != nil {
 		return err
@@ -115,5 +123,6 @@ func cmdDaemon(args []string) error {
 	live := d.LiveSeeds()
 	fmt.Printf("done: %d probes sent, %d saved vs full re-scan; %d seeds live, %d confirmed stale\n",
 		totalProbed, totalSaved, len(live), len(d.Tracker().ConfirmedStale()))
+	wc.summary()
 	return nil
 }

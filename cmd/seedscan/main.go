@@ -45,6 +45,7 @@ import (
 	"seedscan/internal/seeds"
 	"seedscan/internal/telemetry"
 	"seedscan/internal/tga/all"
+	"seedscan/internal/wire"
 	"seedscan/internal/world"
 	"seedscan/internal/zdns"
 )
@@ -124,9 +125,15 @@ func buildEnv(seed uint64, ases int, scale float64, budget int) *experiment.Env 
 }
 
 func buildEnvTele(seed uint64, ases int, scale float64, budget int, tr *telemetry.Tracer) *experiment.Env {
+	return buildEnvWire(seed, ases, scale, budget, tr, nil)
+}
+
+// buildEnvWire is buildEnvTele plus a wire middleware chain composed onto
+// the environment's link (see the -wire-* flags).
+func buildEnvWire(seed uint64, ases int, scale float64, budget int, tr *telemetry.Tracer, chain []wire.Middleware) *experiment.Env {
 	return experiment.NewEnv(experiment.EnvConfig{
 		WorldSeed: seed, NumASes: ases, CollectScale: scale, Budget: budget,
-		Telemetry: tr,
+		Telemetry: tr, Chain: chain,
 	})
 }
 
@@ -333,6 +340,7 @@ func cmdScan(args []string) error {
 	protoName := fs.String("proto", "icmp", "protocol")
 	clusterAddrs := fs.String("cluster", "", "coordinate over remote workers at these comma-separated host:port addresses")
 	clusterN := fs.Int("cluster-workers", 0, "coordinate over this many in-process workers")
+	wopts := wireFlags(fs)
 	trace, metrics := teleFlags(fs)
 	fs.Parse(args)
 
@@ -344,18 +352,35 @@ func cmdScan(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *clusterAddrs != "" && !wopts.empty() {
+		// Chains wrap a local link; remote workers own theirs. The same
+		// flags on each `seedscan worker` give the distributed equivalent.
+		return errors.New("scan: -wire-* flags do not reach remote workers; pass them to each seedscan worker instead")
+	}
 	tr, finish, err := newTracer(*trace, *metrics)
 	if err != nil {
 		return err
 	}
 	defer finish()
+	wc, err := wopts.build(*seed, tr.Registry())
+	if err != nil {
+		return err
+	}
 	ctx, stop := signalContext()
 	defer stop()
-	env := buildEnvTele(*seed, *ases, *scale, 0, tr)
+	// The in-process cluster path composes the chain through the pool
+	// (cluster.Config.Chain); the single-scanner path composes it onto the
+	// environment's link. Either way every probe crosses the same stack.
+	var envChain []wire.Middleware
+	if *clusterN <= 0 {
+		envChain = wc.mws
+	}
+	env := buildEnvWire(*seed, *ases, *scale, 0, tr, envChain)
 	ds := env.Sources[s]
 	ccfg := cluster.Config{
 		Secret:    env.Cfg.ScanSecret,
 		Telemetry: tr.Registry(),
+		Chain:     wc.mws,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
@@ -409,6 +434,7 @@ func cmdScan(args []string) error {
 			fmt.Printf("  %-12s %d\n", k, counts[k])
 		}
 	}
+	wc.summary()
 	return nil
 }
 
@@ -434,6 +460,7 @@ func cmdWorker(args []string) error {
 	seed, ases, _ := envFlags(fs)
 	listen := fs.String("listen", "127.0.0.1:9653", "address to serve the cluster wire protocol on")
 	id := fs.String("id", "", "worker id announced to coordinators (default: the listen address)")
+	wopts := wireFlags(fs)
 	trace, metrics := teleFlags(fs)
 	fs.Parse(args)
 
@@ -442,6 +469,10 @@ func cmdWorker(args []string) error {
 		return err
 	}
 	defer finish()
+	wc, err := wopts.build(*seed, tr.Registry())
+	if err != nil {
+		return err
+	}
 
 	// The worker rebuilds the same deterministic world as the coordinator's
 	// environment; the job frame carries the secret/retries/rate needed for
@@ -461,10 +492,14 @@ func cmdWorker(args []string) error {
 
 	ctx, stop := signalContext()
 	defer stop()
+	// Every job's scanner probes through this worker's chain: a remote
+	// coordinator cannot ship middlewares over the wire protocol, so the
+	// -wire-* flags here are the per-worker half of a distributed chain.
+	link := wire.Chain(w.Link(), wc.mws...)
 	err = cluster.Serve(ctx, ln, cluster.ServeConfig{
 		WorkerID: *id,
 		NewScanner: func(job cluster.Job) (*scanner.Scanner, error) {
-			return scanner.New(w.Link(),
+			return scanner.New(link,
 				scanner.WithSecret(job.Secret),
 				scanner.WithRetries(job.Retries),
 				scanner.WithRatePPS(job.RatePPS),
@@ -475,6 +510,7 @@ func cmdWorker(args []string) error {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
 	})
+	wc.summary()
 	if errors.Is(err, context.Canceled) {
 		return nil
 	}

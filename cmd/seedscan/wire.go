@@ -1,0 +1,177 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"seedscan/internal/ipaddr"
+	"seedscan/internal/telemetry"
+	"seedscan/internal/wire"
+)
+
+// wireOpts carries the shared wire-layer flags: every probing subcommand
+// (scan, worker, daemon) can compose taps, pacing, source rotation, and
+// fault injection onto its link without the command knowing how the chain
+// is built. Middleware order is fixed — tap outermost (it observes what
+// the scanner sees), then shaper, then source rotation, with fault
+// injection innermost (so the tap still counts probes the faults drop).
+type wireOpts struct {
+	taps   *bool
+	shape  *string
+	rotate *string
+	faults *string
+}
+
+// wireFlags wires the shared -wire-* flags into fs.
+func wireFlags(fs *flag.FlagSet) *wireOpts {
+	return &wireOpts{
+		taps:   fs.Bool("wire-taps", false, "attach a counting wire tap and print probe/reply totals on exit"),
+		shape:  fs.String("wire-shape", "", "virtual egress pacing, e.g. pps=100000,jitter=0.2[,seed=N]"),
+		rotate: fs.String("wire-rotate", "", "rotate probe source addresses across this comma-separated pool"),
+		faults: fs.String("wire-faults", "", "deterministic fault injection, e.g. loss=0.05,dup=0.01,delay=0.02[,seed=N]"),
+	}
+}
+
+// wireChain is a built middleware stack plus handles to the pieces worth
+// reporting on after a run.
+type wireChain struct {
+	mws    []wire.Middleware
+	tap    *wire.Tap
+	shaper *wire.Shaper
+	faults *wire.Faults
+}
+
+// empty reports whether no -wire-* flag asked for anything.
+func (o *wireOpts) empty() bool {
+	return !*o.taps && *o.shape == "" && *o.rotate == "" && *o.faults == ""
+}
+
+// build assembles the middleware chain. seed defaults the deterministic
+// knobs (rotation, faults, jitter) when their flag value carries no
+// explicit seed=, so a whole run is reproducible from the world seed
+// alone. reg may be nil.
+func (o *wireOpts) build(seed uint64, reg *telemetry.Registry) (*wireChain, error) {
+	c := &wireChain{}
+	if *o.taps {
+		c.tap = wire.NewTap(nil)
+		c.tap.SetTelemetry(reg)
+		c.mws = append(c.mws, c.tap)
+	}
+	if *o.shape != "" {
+		kv, err := parseWireKV("wire-shape", *o.shape, "pps", "jitter", "seed")
+		if err != nil {
+			return nil, err
+		}
+		pps := int(kv.num("pps", 0))
+		if pps <= 0 {
+			return nil, fmt.Errorf("-wire-shape: pps must be positive, got %v", kv.num("pps", 0))
+		}
+		c.shaper = wire.NewShaper(pps, kv.num("jitter", 0), kv.seed(seed))
+		c.shaper.SetTelemetry(reg)
+		c.mws = append(c.mws, c.shaper)
+	}
+	if *o.rotate != "" {
+		var pool []ipaddr.Addr
+		for _, f := range strings.Split(*o.rotate, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			a, err := ipaddr.Parse(f)
+			if err != nil {
+				return nil, fmt.Errorf("-wire-rotate: %w", err)
+			}
+			pool = append(pool, a)
+		}
+		rot, err := wire.NewSourceRotator(seed, pool...)
+		if err != nil {
+			return nil, fmt.Errorf("-wire-rotate: %w", err)
+		}
+		rot.SetTelemetry(reg)
+		c.mws = append(c.mws, rot)
+	}
+	if *o.faults != "" {
+		kv, err := parseWireKV("wire-faults", *o.faults, "loss", "dup", "delay", "seed")
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []string{"loss", "dup", "delay"} {
+			if v := kv.num(k, 0); v < 0 || v > 1 {
+				return nil, fmt.Errorf("-wire-faults: %s=%v out of [0,1]", k, v)
+			}
+		}
+		f := wire.NewFaults(wire.FaultsConfig{
+			Seed:  kv.seed(seed),
+			Loss:  kv.num("loss", 0),
+			Dupe:  kv.num("dup", 0),
+			Delay: kv.num("delay", 0),
+		})
+		f.SetTelemetry(reg)
+		c.faults = f
+		c.mws = append(c.mws, f)
+	}
+	return c, nil
+}
+
+// summary prints what the chain observed, one line per attached piece.
+func (c *wireChain) summary() {
+	if c == nil {
+		return
+	}
+	if c.tap != nil {
+		fmt.Printf("wire tap: %d probes, %d replies\n", c.tap.Probes(), c.tap.Replies())
+	}
+	if c.shaper != nil {
+		fmt.Printf("wire shaper: %d packets, %.2fs virtual egress time\n",
+			c.shaper.Packets(), c.shaper.VirtualElapsed())
+	}
+	if c.faults != nil {
+		fmt.Printf("wire faults: %d dropped, %d duplicated, %d delayed\n",
+			c.faults.Dropped(), c.faults.Duplicated(), c.faults.Delayed())
+	}
+}
+
+// wireKV is a parsed key=value flag payload.
+type wireKV map[string]float64
+
+// parseWireKV parses "k=v,k=v" flag syntax, rejecting unknown keys.
+func parseWireKV(flagName, s string, allowed ...string) (wireKV, error) {
+	ok := map[string]bool{}
+	for _, k := range allowed {
+		ok[k] = true
+	}
+	kv := wireKV{}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		k, v, found := strings.Cut(f, "=")
+		if !found || !ok[k] {
+			return nil, fmt.Errorf("-%s: bad field %q (want %s)", flagName, f, strings.Join(allowed, "=,")+"=")
+		}
+		n, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %s: %w", flagName, k, err)
+		}
+		kv[k] = n
+	}
+	return kv, nil
+}
+
+func (kv wireKV) num(k string, def float64) float64 {
+	if v, found := kv[k]; found {
+		return v
+	}
+	return def
+}
+
+// seed returns the payload's explicit seed= or the fallback.
+func (kv wireKV) seed(def uint64) uint64 {
+	if v, found := kv["seed"]; found {
+		return uint64(v)
+	}
+	return def
+}

@@ -24,6 +24,7 @@ import (
 
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
 	"seedscan/internal/telemetry"
 )
 
@@ -106,10 +107,9 @@ func (l *OfflineList) Prefixes() []ipaddr.Prefix { return l.prefixes }
 // Contains reports whether a falls in a listed aliased prefix.
 func (l *OfflineList) Contains(a ipaddr.Addr) bool { return l.trie.Contains(a) }
 
-// Prober abstracts the scanner for the online test.
-type Prober interface {
-	ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr
-}
+// Prober abstracts the scanner for the online test — an alias of the
+// shared scanner.Prober definition.
+type Prober = scanner.Prober
 
 // Dealiaser splits address lists into clean and aliased parts under a
 // given mode. The zero value is unusable; construct with New.

@@ -7,6 +7,7 @@ import (
 
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
 	"seedscan/internal/telemetry"
 )
 
@@ -30,6 +31,20 @@ func (p *countingProber) ScanActive(targets []ipaddr.Addr, _ proto.Protocol) []i
 		if p.activeFn(a) {
 			out = append(out, a)
 		}
+	}
+	return out
+}
+
+// Scan completes the shared scanner.Prober surface; the dealiaser scans
+// only through ScanActive, so this path stays uncounted.
+func (p *countingProber) Scan(targets []ipaddr.Addr, pr proto.Protocol) []scanner.Result {
+	out := make([]scanner.Result, len(targets))
+	for i, a := range targets {
+		st := scanner.StatusSilent
+		if p.activeFn(a) {
+			st = scanner.StatusActive
+		}
+		out[i] = scanner.Result{Addr: a, Proto: pr, Status: st, Attempts: 1}
 	}
 	return out
 }

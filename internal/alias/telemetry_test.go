@@ -5,6 +5,7 @@ import (
 
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
 	"seedscan/internal/telemetry"
 )
 
@@ -12,6 +13,16 @@ import (
 type silentProber struct{}
 
 func (silentProber) ScanActive(ts []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr { return nil }
+
+// Scan completes the shared scanner.Prober surface; a silent wire never
+// answers.
+func (silentProber) Scan(ts []ipaddr.Addr, p proto.Protocol) []scanner.Result {
+	out := make([]scanner.Result, len(ts))
+	for i, a := range ts {
+		out[i] = scanner.Result{Addr: a, Proto: p, Status: scanner.StatusSilent, Attempts: 1}
+	}
+	return out
+}
 
 func TestDealiaserTelemetryCounters(t *testing.T) {
 	reg := telemetry.NewRegistry()

@@ -9,6 +9,7 @@ import (
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
 	"seedscan/internal/telemetry"
+	"seedscan/internal/wire"
 )
 
 // Config parameterizes a Coordinator. Zero values get defaults from
@@ -39,6 +40,13 @@ type Config struct {
 	// WorkerFailureLimit retires a worker after this many consecutive
 	// failed or expired leases (default 3); a completed shard resets it.
 	WorkerFailureLimit int
+	// Chain holds wire middlewares composed onto the link of every
+	// worker NewLocalPool builds (outermost first, as wire.Chain). The
+	// one shared chain instance sees the pool's aggregate traffic, so
+	// taps and fault injectors behave identically under sharding.
+	// Remote workers ignore it — their chains are configured where
+	// their scanners are built (see ServeConfig.NewScanner).
+	Chain []wire.Middleware
 	// Telemetry receives the cluster.* metrics (nil: telemetry off).
 	Telemetry *telemetry.Registry
 	// Logf reports lease failures, expiries, and worker retirement —

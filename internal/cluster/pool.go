@@ -8,6 +8,7 @@ import (
 	"seedscan/internal/proto"
 	"seedscan/internal/scanner"
 	"seedscan/internal/telemetry"
+	"seedscan/internal/wire"
 )
 
 // Pool binds a Coordinator to a fixed worker set and exposes the
@@ -28,14 +29,19 @@ func NewPool(cfg Config, workers ...Worker) *Pool {
 // NewLocalPool builds an n-worker in-process pool whose worker scanners
 // all replicate the coordinator's reference configuration over link:
 // merged cluster scans are byte-identical to one such scanner scanning
-// alone. Extra scanner options (telemetry, rate, retries...) apply to
+// alone. cfg.Chain middlewares are composed onto link once and shared by
+// every worker, exactly as a single scanner shares its chain across its
+// own probe workers — middlewares are concurrency-safe, so sharding
+// changes nothing about what a tap or fault injector observes in
+// aggregate. Extra scanner options (telemetry, rate, retries...) apply to
 // every worker; options that diverge from cfg's Secret/Retries/RatePPS
 // break the identity, so cfg is applied after opts.
-func NewLocalPool(n int, link scanner.Link, cfg Config, opts ...scanner.Option) *Pool {
+func NewLocalPool(n int, link wire.Link, cfg Config, opts ...scanner.Option) *Pool {
 	if n < 1 {
 		n = 1
 	}
 	cfg.fillDefaults(n)
+	link = wire.Chain(link, cfg.Chain...)
 	workers := make([]Worker, n)
 	for i := range workers {
 		s := scanner.New(link, append(append([]scanner.Option(nil), opts...),
@@ -80,13 +86,25 @@ func (p *Pool) Scan(targets []ipaddr.Addr, pr proto.Protocol) []scanner.Result {
 
 // ScanActive implements the alias.Prober surface.
 func (p *Pool) ScanActive(targets []ipaddr.Addr, pr proto.Protocol) []ipaddr.Addr {
+	out, _ := p.ScanActiveContext(context.Background(), targets, pr)
+	return out
+}
+
+// ScanActiveContext completes the scanner.ContextProber surface, so a
+// pool drops in anywhere a cancellable scanner does (e.g. the
+// longitudinal daemon).
+func (p *Pool) ScanActiveContext(ctx context.Context, targets []ipaddr.Addr, pr proto.Protocol) ([]ipaddr.Addr, error) {
+	res, err := p.ScanContext(ctx, targets, pr)
+	if err != nil {
+		return nil, err
+	}
 	var out []ipaddr.Addr
-	for _, r := range p.Scan(targets, pr) {
+	for _, r := range res {
 		if r.Active() {
 			out = append(out, r.Addr)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Stats returns the pool's cumulative merged counters across every run —

@@ -27,6 +27,7 @@ import (
 	"seedscan/internal/tga"
 	"seedscan/internal/tga/all"
 	"seedscan/internal/tga/modelcache"
+	"seedscan/internal/wire"
 	"seedscan/internal/world"
 )
 
@@ -59,6 +60,13 @@ type EnvConfig struct {
 	// scanner's, so experiment outcomes do not change — only the scanning
 	// topology does. 0 or 1 keeps the plain single scanner.
 	ClusterWorkers int
+	// Chain composes wire middlewares onto the world link before any
+	// scanner (or cluster worker) is built over it: Chain[0] is outermost.
+	// Taps and shapers are observation-only; fault injectors change scan
+	// outcomes, and Chain is deliberately NOT part of Fingerprint — runs
+	// whose chain alters results must use a fresh GridStore, or stale
+	// checkpoints from an unfaulted run will be replayed as-is.
+	Chain []wire.Middleware
 	// Workers overrides the experiment fan-out width (default: NumCPU-1,
 	// capped at 8). Deterministic outcomes do not depend on it.
 	Workers int
@@ -101,12 +109,12 @@ func (c *EnvConfig) fillDefaults() {
 
 // ScanProber is the scanning surface experiments probe through — either
 // the Env's reference scanner or an in-process cluster pool whose merged
-// output is byte-identical to it. *scanner.Scanner and *cluster.Pool both
-// implement it.
+// output is byte-identical to it. It is the union of the two shared
+// prober surfaces (see scanner.Prober); *scanner.Scanner and
+// *cluster.Pool both implement it.
 type ScanProber interface {
-	Scan(targets []ipaddr.Addr, p proto.Protocol) []scanner.Result
-	ScanContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]scanner.Result, error)
-	ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr
+	scanner.Prober
+	scanner.ContextProber
 }
 
 // Env is a fully assembled experimental setup.
@@ -166,10 +174,11 @@ func NewEnv(cfg EnvConfig) *Env {
 	listed := append([]ipaddr.Prefix(nil), truth[:keep]...)
 
 	w.SetEpoch(world.ScanEpoch)
+	link := wire.Chain(w.Link(), cfg.Chain...)
 	e := &Env{
 		Cfg:   cfg,
 		World: w,
-		Scanner: scanner.New(w.Link(),
+		Scanner: scanner.New(link,
 			scanner.WithSecret(cfg.ScanSecret),
 			scanner.WithTelemetry(tr.Registry())),
 		Tele:    tr,
@@ -182,9 +191,10 @@ func NewEnv(cfg EnvConfig) *Env {
 	e.Prober = e.Scanner
 	if cfg.ClusterWorkers > 1 {
 		// The pool's worker scanners replicate the reference scanner's
-		// secret over the same link, so everything scanned through Prober
-		// merges byte-identically to a Scanner-only environment.
-		e.Prober = cluster.NewLocalPool(cfg.ClusterWorkers, w.Link(), cluster.Config{
+		// secret over the same (already chained) link, so everything scanned
+		// through Prober merges byte-identically to a Scanner-only
+		// environment.
+		e.Prober = cluster.NewLocalPool(cfg.ClusterWorkers, link, cluster.Config{
 			Secret:    cfg.ScanSecret,
 			Telemetry: tr.Registry(),
 		}, scanner.WithTelemetry(tr.Registry()))

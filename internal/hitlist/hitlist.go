@@ -25,22 +25,20 @@ import (
 	"seedscan/internal/alias"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
 	"seedscan/internal/seeds"
 	"seedscan/internal/telemetry"
 )
 
-// Prober is the scanning dependency (satisfied by *scanner.Scanner).
-type Prober interface {
-	ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr
-}
+// Prober is the scanning dependency (satisfied by *scanner.Scanner) — an
+// alias of the shared scanner.Prober definition.
+type Prober = scanner.Prober
 
 // ContextProber is the cancellable prober variant. When the configured
 // Prober also implements it (as *scanner.Scanner does), BuildContext scans
 // through it so cancellation lands mid-scan instead of only between
 // pipeline stages.
-type ContextProber interface {
-	ScanActiveContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]ipaddr.Addr, error)
-}
+type ContextProber = scanner.ContextProber
 
 // Snapshot is one published hitlist build.
 type Snapshot struct {

@@ -11,21 +11,19 @@ import (
 	"seedscan/internal/hitlistdb"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
 	"seedscan/internal/telemetry"
 	"seedscan/internal/world"
 )
 
 // Prober is the daemon's scanning dependency (satisfied by
-// *scanner.Scanner and *cluster.Pool).
-type Prober interface {
-	ScanActive(targets []ipaddr.Addr, p proto.Protocol) []ipaddr.Addr
-}
+// *scanner.Scanner and *cluster.Pool) — an alias of the shared
+// scanner.Prober definition.
+type Prober = scanner.Prober
 
 // ContextProber is the cancellable prober variant; when the configured
 // Prober also implements it, epoch scans honor mid-scan cancellation.
-type ContextProber interface {
-	ScanActiveContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]ipaddr.Addr, error)
-}
+type ContextProber = scanner.ContextProber
 
 // Cohort is a named address set whose persistence the daemon reports per
 // epoch — e.g. the hits of a TGA run, re-checked epoch after epoch.

@@ -10,6 +10,7 @@ import (
 	"seedscan/internal/hitlistdb"
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/proto"
+	"seedscan/internal/scanner"
 	"seedscan/internal/seeds"
 	"seedscan/internal/world"
 )
@@ -27,6 +28,20 @@ func (p oracleProber) ScanActive(targets []ipaddr.Addr, pr proto.Protocol) []ipa
 		}
 	}
 	return hits
+}
+
+// Scan completes the shared scanner.Prober surface; the daemon scans only
+// through the ScanActive side.
+func (p oracleProber) Scan(targets []ipaddr.Addr, pr proto.Protocol) []scanner.Result {
+	out := make([]scanner.Result, len(targets))
+	for i, a := range targets {
+		st := scanner.StatusSilent
+		if p.w.ActiveOn(a, pr, p.w.Epoch()) {
+			st = scanner.StatusActive
+		}
+		out[i] = scanner.Result{Addr: a, Proto: pr, Status: st, Attempts: 1}
+	}
+	return out
 }
 
 // killProber fails the Nth scan call — the moral equivalent of kill -9
@@ -47,6 +62,19 @@ func (k *killProber) ScanActiveContext(_ context.Context, targets []ipaddr.Addr,
 		return nil, context.Canceled
 	}
 	return k.inner.ScanActive(targets, pr), nil
+}
+
+// Scan / ScanContext complete the shared prober surfaces; the daemon's
+// epoch scans go through ScanActiveContext, where the kill is planted.
+func (k *killProber) Scan(targets []ipaddr.Addr, pr proto.Protocol) []scanner.Result {
+	return k.inner.Scan(targets, pr)
+}
+
+func (k *killProber) ScanContext(ctx context.Context, targets []ipaddr.Addr, pr proto.Protocol) ([]scanner.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return k.inner.Scan(targets, pr), nil
 }
 
 // testCorpus collects the union of every seed source from a fresh world.

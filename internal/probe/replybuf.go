@@ -78,6 +78,17 @@ func (rb *ReplyBuf) PutDNSResponse(i int, src, dst ipaddr.Addr, dstPort, txid ui
 	rb.record(i, off)
 }
 
+// PutRaw copies an already-encoded packet into the arena as packet i's
+// reply. It is the seam the wire layer uses to lift legacy links (which
+// return freshly allocated reply slices) and fault middlewares (which
+// re-index replies between an inner and an outer buffer) into the arena
+// contract. raw must not alias rb's own arena.
+func (rb *ReplyBuf) PutRaw(i int, raw []byte) {
+	off := len(rb.arena)
+	rb.arena = append(rb.arena, raw...)
+	rb.record(i, off)
+}
+
 // PutUnreachable stores an ICMPv6 Destination Unreachable as packet i's
 // reply. invoking is the probe being answered; it must not alias the arena
 // (probes live in the sender's buffers, so in practice it never does).

@@ -6,8 +6,10 @@ import (
 	"testing"
 
 	"seedscan/internal/ipaddr"
+	"seedscan/internal/probe"
 	"seedscan/internal/proto"
 	"seedscan/internal/telemetry"
+	"seedscan/internal/wire"
 	"seedscan/internal/world"
 )
 
@@ -68,7 +70,9 @@ func TestConfigAdapterKeepsDefaults(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		targets = append(targets, base.AddLo(uint64(i)))
 	}
-	s := NewWithConfig(w.Link(), Config{Secret: 5})
+	// A legacy single-packet link, so the adapter also covers the
+	// wire.Promote lift NewWithConfig performs.
+	s := NewWithConfig(packetWorldLink{w}, Config{Secret: 5})
 	res := s.Scan(targets, proto.ICMP)
 	for _, r := range res {
 		if r.Attempts != 3 {
@@ -77,19 +81,25 @@ func TestConfigAdapterKeepsDefaults(t *testing.T) {
 	}
 }
 
+// packetWorldLink answers through the world one packet at a time — the
+// first-generation link shape, kept to exercise the wire.Promote lift.
+type packetWorldLink struct{ w *world.World }
+
+func (l packetWorldLink) Exchange(pkt []byte) [][]byte { return l.w.HandlePacket(pkt) }
+
 // slowLink delays each exchange until released, so a scan can be caught
 // mid-flight deterministically.
 type slowLink struct {
-	inner   Link
+	inner   wire.Link
 	started chan struct{}
 	release chan struct{}
 	once    sync.Once
 }
 
-func (l *slowLink) Exchange(pkt []byte) [][]byte {
+func (l *slowLink) ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf) {
 	l.once.Do(func() { close(l.started) })
 	<-l.release
-	return l.inner.Exchange(pkt)
+	l.inner.ExchangeBatchInto(pkts, rb)
 }
 
 func TestScanContextCancellationMidScan(t *testing.T) {

@@ -3,6 +3,7 @@ package scanner
 import (
 	"seedscan/internal/ipaddr"
 	"seedscan/internal/telemetry"
+	"seedscan/internal/wire"
 )
 
 // Option configures a Scanner at construction time. The options replace
@@ -82,9 +83,9 @@ func WithRatePPS(pps int) Option {
 }
 
 // WithProbeChunk sets how many targets a worker claims per loop iteration
-// — the batch size handed to a BatchLink per exchange (minimum 1; 1 forces
-// per-packet dispatch even on a batched link). Scan results are identical
-// for any chunk size; only dispatch amortization changes.
+// — the batch size handed to the wire per exchange (minimum 1). Scan
+// results are identical for any chunk size; only dispatch amortization
+// changes.
 func WithProbeChunk(n int) Option {
 	return func(s *settings) {
 		if n < 1 {
@@ -169,9 +170,10 @@ func (c Config) Options() []Option {
 	return opts
 }
 
-// NewWithConfig builds a Scanner from the legacy Config struct.
+// NewWithConfig builds a Scanner from the legacy Config struct over a
+// legacy single-packet link, lifted through wire.Promote.
 //
-// Deprecated: use New with functional options.
+// Deprecated: use New with functional options over a wire.Link.
 func NewWithConfig(link Link, cfg Config) *Scanner {
-	return New(link, cfg.Options()...)
+	return New(wire.Promote(link), cfg.Options()...)
 }

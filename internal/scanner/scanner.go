@@ -16,10 +16,15 @@
 // The per-packet hot path is contention-free: the rate limiter is an
 // atomic virtual clock (no mutex), counters are sharded per worker and
 // merged on read, probes are built into reused per-worker scratch buffers,
-// and links that implement BatchLink receive whole chunks of probes per
-// exchange instead of one interface call per packet. Links that additionally
-// implement ArenaLink answer each chunk into a per-worker reply arena, making
-// the steady-state exchange loop allocation-free on both sides.
+// and every exchange moves a whole chunk of probes through the canonical
+// arena-batched wire.Link, which answers into a per-worker reply arena —
+// the steady-state exchange loop is allocation-free on both sides.
+//
+// The scanner exchanges packets exclusively through internal/wire: New
+// takes a wire.Link (compose middlewares onto it with wire.Chain), and
+// legacy single-packet or allocating-batch links are lifted with
+// wire.Promote. The historical Link/BatchLink/ArenaLink names remain as
+// deprecated aliases of the wire package's shapes.
 package scanner
 
 import (
@@ -33,37 +38,26 @@ import (
 	"seedscan/internal/probe"
 	"seedscan/internal/proto"
 	"seedscan/internal/telemetry"
+	"seedscan/internal/wire"
 )
 
-// Link is the wire between the scanner and the Internet (real or
-// simulated): send one packet, collect whatever comes back for it.
-// Implementations must be safe for concurrent use and must not retain pkt
-// past the call — the scanner reuses its probe buffers.
-type Link interface {
-	Exchange(pkt []byte) [][]byte
-}
+// Link is the first-generation single-packet wire.
+//
+// Deprecated: the scanner exchanges packets exclusively through the
+// canonical wire.Link; lift legacy implementations with wire.Promote.
+type Link = wire.PacketLink
 
-// BatchLink is the batched wire: one call exchanges a whole chunk of
-// packets, returning one reply set per packet (replies[i] answers
-// pkts[i]). Links that implement it let the scanner amortize per-packet
-// dispatch — rate-limiter and counter updates happen once per chunk — so
-// stateless links (internal/world's WireLink) should always provide it.
-// The same retention rule as Link applies to every packet in pkts.
-type BatchLink interface {
-	Link
-	ExchangeBatch(pkts [][]byte) [][][]byte
-}
+// BatchLink is the second-generation allocating batched wire.
+//
+// Deprecated: implement wire.Link (ExchangeBatchInto) instead; existing
+// implementations are lifted with wire.Promote.
+type BatchLink = wire.BatchLink
 
-// ArenaLink is the zero-allocation batched wire: the link writes at most
-// one reply per packet into the caller-owned ReplyBuf instead of returning
-// freshly allocated reply slices. The scanner prefers it over BatchLink —
-// with both sides reusing arenas, the steady-state exchange path allocates
-// nothing per packet. Replies recorded in rb alias its arena and are
-// consumed before the next exchange on the same worker.
-type ArenaLink interface {
-	Link
-	ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf)
-}
+// ArenaLink is the historical name for links that implement the canonical
+// arena-batched exchange alongside the legacy per-packet one.
+//
+// Deprecated: new code should implement and accept wire.Link.
+type ArenaLink = wire.ArenaLink
 
 // dnsQueryName is the fixed liveness qname stamped on UDP/53 probes.
 const dnsQueryName = "liveness.seedscan.example"
@@ -210,9 +204,9 @@ type protoCounters struct {
 	hits    *telemetry.Counter
 }
 
-// Scanner probes targets over a Link. Safe for concurrent Scan calls.
+// Scanner probes targets over a wire.Link. Safe for concurrent Scan calls.
 type Scanner struct {
-	link Link
+	link wire.Link
 	set  settings
 	rl   *RateLimiter
 
@@ -229,9 +223,11 @@ type Scanner struct {
 	cBlocked   *telemetry.Counter
 }
 
-// New builds a Scanner over link. With no options it matches the paper's
+// New builds a Scanner over link — the canonical arena-batched wire,
+// typically a world's WireLink or a wire.Chain composed onto one; lift
+// legacy links with wire.Promote. With no options it matches the paper's
 // §4.2 setup: 2 retries, 8 workers, 10k pps, shuffled scan order.
-func New(link Link, opts ...Option) *Scanner {
+func New(link wire.Link, opts ...Option) *Scanner {
 	set := defaultSettings()
 	for _, o := range opts {
 		o(&set)
@@ -327,7 +323,7 @@ type workerState struct {
 	ends    []int  // arena end offset of each pending packet
 	pkts    [][]byte
 	pending []pendingProbe
-	rb      probe.ReplyBuf // reply arena for ArenaLink exchanges
+	rb      probe.ReplyBuf // reply arena the wire answers each exchange into
 }
 
 // pendingProbe tracks one not-yet-answered target within a chunk.
@@ -356,10 +352,10 @@ func (s *Scanner) putWorkerState(st *workerState) { s.wsPool.Put(st) }
 // blocklist-filtered, and probed with retries. The caller's slice is never
 // mutated; dedup and shuffle operate on a private copy.
 //
-// Workers claim contiguous chunks of the target list; when the link
-// implements BatchLink a whole chunk is probed per exchange. Results are
-// identical either way — per-target classification depends only on the
-// target, its cookie, and the link's replies.
+// Workers claim contiguous chunks of the target list and probe each chunk
+// through one arena-batched exchange per attempt round. Results are
+// independent of the chunk size — per-target classification depends only
+// on the target, its cookie, and the link's replies.
 //
 // Cancelling ctx stops the scan between chunks: already-probed results
 // are returned (a prefix of the scan order) together with ctx.Err().
@@ -378,14 +374,7 @@ func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p prot
 	if workers > len(targets) {
 		workers = len(targets)
 	}
-	// Link capability dispatch: ArenaLink (zero-alloc reply arena) beats
-	// BatchLink (allocating batched replies) beats per-packet Exchange.
-	al, _ := s.link.(ArenaLink)
-	bl, _ := s.link.(BatchLink)
 	chunk := s.set.chunk
-	if al == nil && bl == nil {
-		chunk = 1
-	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -401,14 +390,7 @@ func (s *Scanner) ScanContext(ctx context.Context, targets []ipaddr.Addr, p prot
 				if end > len(targets) {
 					end = len(targets)
 				}
-				switch {
-				case chunk > 1 && al != nil:
-					s.probeChunkArena(al, st, targets[start:end], p, results[start:end], &sent)
-				case chunk > 1:
-					s.probeChunk(bl, st, targets[start:end], p, results[start:end], &sent)
-				default:
-					results[start] = s.probeOne(st, targets[start], p, &sent)
-				}
+				s.probeChunk(st, targets[start:end], p, results[start:end], &sent)
 			}
 		}()
 	}
@@ -479,40 +461,6 @@ func (s *Scanner) ScanActiveContext(ctx context.Context, targets []ipaddr.Addr, 
 	return out, nil
 }
 
-// probeOne sends up to 1+retries probes to one target and classifies the
-// outcome — the unbatched path for links without ExchangeBatch.
-func (s *Scanner) probeOne(w *workerState, dst ipaddr.Addr, p proto.Protocol, sent *atomic.Int64) Result {
-	res := Result{Addr: dst, Proto: p}
-	if s.set.blocklist != nil && s.set.blocklist.Contains(dst) {
-		res.Status = StatusBlocked
-		w.shard.blocked.Add(1)
-		s.cBlocked.Inc()
-		return res
-	}
-	c := s.cookie(dst, p)
-	for attempt := 0; attempt <= s.set.retries; attempt++ {
-		res.Attempts = attempt + 1
-		s.rl.Take()
-		w.arena = s.appendProbe(w.arena[:0], dst, p, c, attempt)
-		sent.Add(1)
-		w.shard.packetsSent.Add(1)
-		s.pc[p].sent.Inc()
-		if attempt > 0 {
-			s.pc[p].retries.Inc()
-		}
-		for _, raw := range s.link.Exchange(w.arena) {
-			st, ok := s.consumeReply(w, raw, dst, p, c, attempt)
-			if !ok {
-				continue
-			}
-			res.Status = st
-			return res
-		}
-	}
-	res.Status = StatusSilent
-	return res
-}
-
 // prepareChunk initializes a claimed chunk: zeroed results, blocklist
 // filtering, and the pending set of targets still awaiting an answer.
 func (s *Scanner) prepareChunk(w *workerState, targets []ipaddr.Addr, p proto.Protocol, results []Result) {
@@ -557,54 +505,19 @@ func (s *Scanner) buildAttempt(w *workerState, targets []ipaddr.Addr, p proto.Pr
 	}
 }
 
-// probeChunk probes one claimed chunk of targets through the batched link:
-// one ExchangeBatch per attempt round, with targets leaving the pending
-// set as soon as a validated response arrives. Per-target semantics —
-// classification, attempt counting, counter increments — mirror probeOne
-// exactly.
-func (s *Scanner) probeChunk(bl BatchLink, w *workerState, targets []ipaddr.Addr, p proto.Protocol, results []Result, sent *atomic.Int64) {
+// probeChunk probes one claimed chunk of targets through the canonical
+// arena-batched wire: one ExchangeBatchInto per attempt round, answered
+// into the worker's ReplyBuf so the exchange allocates nothing on either
+// side, with targets leaving the pending set as soon as a validated
+// response arrives. The wire contract records at most one reply per
+// packet, which matches classification exactly — the first validated
+// reply wins; whatever is still pending after the retries stays
+// StatusSilent with Attempts already set to the full retry count.
+func (s *Scanner) probeChunk(w *workerState, targets []ipaddr.Addr, p proto.Protocol, results []Result, sent *atomic.Int64) {
 	s.prepareChunk(w, targets, p, results)
 	for attempt := 0; attempt <= s.set.retries && len(w.pending) > 0; attempt++ {
 		s.buildAttempt(w, targets, p, attempt, sent)
-		replies := bl.ExchangeBatch(w.pkts)
-
-		keep := w.pending[:0]
-		for j, pd := range w.pending {
-			res := &results[pd.idx]
-			res.Attempts = attempt + 1
-			answered := false
-			if j < len(replies) {
-				for _, raw := range replies[j] {
-					st, ok := s.consumeReply(w, raw, res.Addr, p, pd.cookie, attempt)
-					if !ok {
-						continue
-					}
-					res.Status = st
-					answered = true
-					break
-				}
-			}
-			if !answered {
-				keep = append(keep, pd)
-			}
-		}
-		w.pending = keep
-	}
-	// Whatever is still pending stays StatusSilent with Attempts already
-	// set to the full retry count.
-}
-
-// probeChunkArena is probeChunk over an ArenaLink: the link answers each
-// attempt round into the worker's ReplyBuf, so the exchange allocates
-// nothing on either side. Classification semantics are identical — an
-// ArenaLink records at most one reply per packet, which matches how every
-// reply set is consumed (first validated reply wins, the rest only bump
-// receive counters, which a single-reply link never produces).
-func (s *Scanner) probeChunkArena(al ArenaLink, w *workerState, targets []ipaddr.Addr, p proto.Protocol, results []Result, sent *atomic.Int64) {
-	s.prepareChunk(w, targets, p, results)
-	for attempt := 0; attempt <= s.set.retries && len(w.pending) > 0; attempt++ {
-		s.buildAttempt(w, targets, p, attempt, sent)
-		al.ExchangeBatchInto(w.pkts, &w.rb)
+		s.link.ExchangeBatchInto(w.pkts, &w.rb)
 
 		keep := w.pending[:0]
 		for j, pd := range w.pending {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"seedscan/internal/ipaddr"
+	"seedscan/internal/probe"
 	"seedscan/internal/proto"
 	"seedscan/internal/world"
 )
@@ -11,7 +12,7 @@ import (
 // quietLink answers nothing; every target stays silent.
 type quietLink struct{}
 
-func (quietLink) Exchange(pkt []byte) [][]byte { return nil }
+func (quietLink) ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf) { rb.Reset(len(pkts)) }
 
 // addrRange returns n consecutive addresses in unrouted space.
 func addrRange(n int) []ipaddr.Addr {

@@ -172,6 +172,10 @@ func (p *silentProber) Scan(ts []ipaddr.Addr, pr proto.Protocol) []scanner.Resul
 	return out
 }
 
+// ScanActive completes the shared scanner.Prober surface; a silent wire
+// has no active addresses.
+func (p *silentProber) ScanActive(ts []ipaddr.Addr, pr proto.Protocol) []ipaddr.Addr { return nil }
+
 func TestSixSenseAvoidsAliases(t *testing.T) {
 	w, sc, _ := setup(t)
 	// Seed heavily from aliased regions plus some clean hosts — the trap

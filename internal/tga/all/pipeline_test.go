@@ -172,3 +172,9 @@ func (p *cancelAfterProber) Scan(ts []ipaddr.Addr, pr proto.Protocol) []scanner.
 	}
 	return p.inner.Scan(ts, pr)
 }
+
+// ScanActive completes the shared scanner.Prober surface; the driver
+// scans through Scan.
+func (p *cancelAfterProber) ScanActive(ts []ipaddr.Addr, pr proto.Protocol) []ipaddr.Addr {
+	return p.inner.ScanActive(ts, pr)
+}

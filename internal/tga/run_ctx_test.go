@@ -30,6 +30,12 @@ func (p *cancellingProber) Scan(ts []ipaddr.Addr, pr proto.Protocol) []scanner.R
 	return out
 }
 
+// ScanActive completes the shared scanner.Prober surface; these tests
+// exercise only Scan.
+func (p *cancellingProber) ScanActive(ts []ipaddr.Addr, pr proto.Protocol) []ipaddr.Addr {
+	return nil
+}
+
 func manyAddrs(n int) []ipaddr.Addr {
 	base := ipaddr.MustParse("2001:db8::")
 	out := make([]ipaddr.Addr, n)
@@ -67,6 +73,12 @@ func (p *ctxProber) ScanContext(ctx context.Context, ts []ipaddr.Addr, pr proto.
 		return nil, err
 	}
 	return p.Scan(ts, pr), nil
+}
+
+// ScanActiveContext completes the shared scanner.ContextProber surface;
+// the driver routes its scans through ScanContext.
+func (p *ctxProber) ScanActiveContext(ctx context.Context, ts []ipaddr.Addr, pr proto.Protocol) ([]ipaddr.Addr, error) {
+	return nil, ctx.Err()
 }
 
 func TestRunContextPrefersContextProber(t *testing.T) {

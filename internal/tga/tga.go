@@ -66,17 +66,15 @@ type Generator interface {
 	Feedback(results []ProbeResult)
 }
 
-// Prober abstracts the scanner for the driver.
-type Prober interface {
-	Scan(targets []ipaddr.Addr, p proto.Protocol) []scanner.Result
-}
+// Prober abstracts the scanner for the driver — an alias of the shared
+// scanner.Prober, one definition for the whole stack instead of a local
+// copy per consumer.
+type Prober = scanner.Prober
 
 // ContextProber is the cancellable prober surface. When a RunConfig's
 // Prober also implements it (as *scanner.Scanner does), the driver routes
 // scans through ScanContext so an in-flight scan stops with the run.
-type ContextProber interface {
-	ScanContext(ctx context.Context, targets []ipaddr.Addr, p proto.Protocol) ([]scanner.Result, error)
-}
+type ContextProber = scanner.ContextProber
 
 // Dealiaser abstracts output dealiasing for the driver.
 type Dealiaser interface {

@@ -202,6 +202,10 @@ func (p *nullProber) Scan(ts []ipaddr.Addr, pr proto.Protocol) []scanner.Result 
 	return out
 }
 
+// ScanActive completes the shared scanner.Prober surface; the driver
+// tests exercise only Scan.
+func (p *nullProber) ScanActive(ts []ipaddr.Addr, pr proto.Protocol) []ipaddr.Addr { return nil }
+
 func TestRunBudgetAndDedup(t *testing.T) {
 	var addrs []ipaddr.Addr
 	base := ipaddr.MustParse("2001:db8::")

@@ -1,0 +1,41 @@
+package wire
+
+import "encoding/binary"
+
+// wiremix is the package's copy of the split-mix fold used across the repo
+// for deterministic seeded decisions (kept local so wire depends only on
+// probe, ipaddr, and telemetry).
+func wiremix(vals ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, v := range vals {
+		h = wiresmix(h ^ v)
+	}
+	return h
+}
+
+func wiresmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// hashBytes folds a packet's bytes into one word, eight at a time — the
+// per-packet fault key. Probes vary per attempt (the scanner folds the
+// attempt number into a wire field), so hashing the bytes means retries
+// genuinely re-roll their fault draws.
+func hashBytes(seed uint64, b []byte) uint64 {
+	h := wiresmix(seed ^ uint64(len(b)))
+	for len(b) >= 8 {
+		h = wiresmix(h ^ binary.BigEndian.Uint64(b))
+		b = b[8:]
+	}
+	var tail uint64
+	for _, c := range b {
+		tail = tail<<8 | uint64(c)
+	}
+	return wiresmix(h ^ tail)
+}
+
+// frac maps a hash word onto [0, 1).
+func frac(h uint64) float64 { return float64(h>>11) / (1 << 53) }

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"math"
+	"sync/atomic"
+
+	"seedscan/internal/probe"
+	"seedscan/internal/telemetry"
+)
+
+// Shaper shapes the probe departure schedule on a virtual clock, the same
+// accounting idiom as the scanner's own RateLimiter: instead of sleeping
+// it advances simulated time by one inter-packet gap per probe, plus
+// optional seeded jitter, so shaped experiments still run at full speed
+// while VirtualElapsed reports what the shaped scan would cost on real
+// hardware. Layer one under a scanner whose own limiter models the ethical
+// aggregate cap to ask "what if the wire itself were slower or burstier?".
+//
+// Jitter draws one deterministic extra delay per exchange batch — a
+// fraction of the gap in [0, jitter·gap) keyed by (seed, batch ordinal) —
+// mimicking per-burst scheduling noise without breaking reproducibility.
+//
+// Telemetry: wire.shaper.packets.
+type Shaper struct {
+	gap    float64
+	jitter float64
+	seed   uint64
+
+	n       atomic.Int64  // packets accounted
+	batches atomic.Int64  // exchange batches seen (the jitter key)
+	jbits   atomic.Uint64 // accumulated jitter seconds (float64 bits)
+
+	cPackets *telemetry.Counter
+}
+
+// NewShaper shapes to pps packets per second with jitter in [0, 1] as the
+// maximum per-batch extra delay in units of one inter-packet gap. seed
+// keys the jitter draws.
+func NewShaper(pps int, jitter float64, seed uint64) *Shaper {
+	if pps <= 0 {
+		pps = 1
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	return &Shaper{gap: 1 / float64(pps), jitter: jitter, seed: seed}
+}
+
+// SetTelemetry mirrors the shaper's counters into reg under wire.shaper.*.
+func (s *Shaper) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.cPackets = reg.Counter("wire.shaper.packets")
+}
+
+// Packets returns how many packets the shaper has accounted.
+func (s *Shaper) Packets() int64 { return s.n.Load() }
+
+// VirtualElapsed returns the virtual seconds the shaped wire has consumed:
+// packets times the gap plus all jitter drawn so far.
+func (s *Shaper) VirtualElapsed() float64 {
+	return float64(s.n.Load())*s.gap + math.Float64frombits(s.jbits.Load())
+}
+
+// addJitter accumulates j seconds into the jitter total, lock-free.
+func (s *Shaper) addJitter(j float64) {
+	for {
+		old := s.jbits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + j)
+		if s.jbits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Wrap implements Middleware. The shaper only accounts time; packets and
+// replies pass through untouched, so a shaped chain is byte-identical to
+// an unshaped one.
+func (s *Shaper) Wrap(next Link) Link {
+	return LinkFunc(func(pkts [][]byte, rb *probe.ReplyBuf) {
+		n := int64(len(pkts))
+		s.n.Add(n)
+		s.cPackets.Add(n)
+		if s.jitter > 0 {
+			batch := uint64(s.batches.Add(1) - 1)
+			frac := float64(wiremix(s.seed, batch)>>11) / (1 << 53)
+			s.addJitter(frac * s.jitter * s.gap)
+		}
+		next.ExchangeBatchInto(pkts, rb)
+	})
+}

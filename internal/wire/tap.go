@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"sync/atomic"
+
+	"seedscan/internal/probe"
+	"seedscan/internal/telemetry"
+)
+
+// TapFunc observes one probe/reply pair. reply is nil when the probe drew
+// no answer. The slices alias the scanner's and link's reusable buffers:
+// the function may read them during the call but must not retain them, and
+// it must be safe for concurrent use — every scanner worker flows through
+// the same tap.
+type TapFunc func(pkt, reply []byte)
+
+// Tap is the observe-everything middleware: it counts — and optionally
+// hands to a TapFunc — every probe/reply pair crossing the link without
+// touching either, so a tapped chain stays byte-identical to an untapped
+// one. It is the building block for telescope-style studies (what does a
+// passive observer on the wire see of a scan?) per ROADMAP item 5.
+//
+// Telemetry: wire.tap.probes, wire.tap.replies.
+type Tap struct {
+	fn      TapFunc
+	probes  atomic.Int64
+	replies atomic.Int64
+
+	cProbes  *telemetry.Counter
+	cReplies *telemetry.Counter
+}
+
+// NewTap builds a tap. fn may be nil for a count-only tap.
+func NewTap(fn TapFunc) *Tap { return &Tap{fn: fn} }
+
+// SetTelemetry mirrors the tap's counters into reg under wire.tap.*.
+func (t *Tap) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	t.cProbes = reg.Counter("wire.tap.probes")
+	t.cReplies = reg.Counter("wire.tap.replies")
+}
+
+// Probes returns how many probes have crossed the tap.
+func (t *Tap) Probes() int64 { return t.probes.Load() }
+
+// Replies returns how many of them drew a reply.
+func (t *Tap) Replies() int64 { return t.replies.Load() }
+
+// Wrap implements Middleware.
+func (t *Tap) Wrap(next Link) Link {
+	return LinkFunc(func(pkts [][]byte, rb *probe.ReplyBuf) {
+		next.ExchangeBatchInto(pkts, rb)
+		n := int64(len(pkts))
+		var answered int64
+		for i := range pkts {
+			r := rb.Reply(i)
+			if r != nil {
+				answered++
+			}
+			if t.fn != nil {
+				t.fn(pkts[i], r)
+			}
+		}
+		t.probes.Add(n)
+		t.replies.Add(answered)
+		t.cProbes.Add(n)
+		t.cReplies.Add(answered)
+	})
+}

@@ -1,0 +1,130 @@
+// Package wire is the canonical packet transport of the stack: every
+// subsystem that moves probes — the scanner, the simulated world, cluster
+// workers, the longitudinal daemon — exchanges packets through exactly one
+// interface, Link, and anything that wants to observe or shape traffic in
+// flight composes onto it as a Middleware via Chain.
+//
+// Link is the arena-batched shape the scanner hot path was already built
+// around (the former scanner.ArenaLink): one call exchanges a whole chunk
+// of probes and answers into a caller-owned probe.ReplyBuf, so the
+// steady-state exchange allocates nothing on either side. The two older
+// link generations — per-packet Exchange and allocating ExchangeBatch —
+// survive as PacketLink and BatchLink, and Promote lifts either into a
+// Link so legacy implementations keep working without the scanner carrying
+// a triple type-switch.
+//
+// Promotion rules: a promoted link preserves classification semantics
+// exactly. The canonical contract allows at most one reply per probe;
+// when a legacy link returns several, Promote keeps the first — the same
+// "first validated reply wins" rule the scanner applies, so results are
+// identical (extra replies could only bump receive counters, which no
+// implementation in this repository ever produced). Promoted replies are
+// copied into the caller's arena, so the legacy link's allocations do not
+// leak past the exchange.
+//
+// Middlewares wrap a Link with a send-side hook (they see — and may
+// rewrite, reorder, or drop — every probe before the inner link does) and
+// an observe-side hook (they see every reply before the scanner does).
+// The package ships four: Tap (record probe/reply pairs untouched — the
+// telescope building block), Shaper (virtual-clock rate shaping and
+// jitter), SourceRotator (rotate probe sources across an address pool),
+// and Faults (deterministic seeded loss / duplication / reply delay).
+// All are safe for concurrent use by many scanner workers.
+//
+// Telemetry: middlewares wired to a registry expose counters under the
+// wire.* namespace — wire.tap.probes, wire.tap.replies,
+// wire.shaper.packets, wire.rotator.rewrites, wire.faults.dropped,
+// wire.faults.duplicated, wire.faults.delayed.
+package wire
+
+import (
+	"fmt"
+
+	"seedscan/internal/probe"
+)
+
+// Link is the canonical wire between a scanner and the Internet (real or
+// simulated): one call exchanges a batch of packets, answering each into
+// the caller-owned rb. Implementations must rb.Reset(len(pkts)) first,
+// then record at most one reply per packet; replies alias rb's arena and
+// are consumed before the caller's next exchange into the same buffer.
+//
+// Implementations must be safe for concurrent use and must not retain
+// pkts or its packets past the call — the scanner reuses probe buffers.
+type Link interface {
+	ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf)
+}
+
+// LinkFunc adapts a function to Link.
+type LinkFunc func(pkts [][]byte, rb *probe.ReplyBuf)
+
+// ExchangeBatchInto calls f.
+func (f LinkFunc) ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf) { f(pkts, rb) }
+
+// PacketLink is the first-generation wire: send one packet, collect
+// whatever comes back for it. Promote lifts one into a Link.
+type PacketLink interface {
+	Exchange(pkt []byte) [][]byte
+}
+
+// BatchLink is the second-generation wire: one allocating call per chunk,
+// one reply set per packet (replies[i] answers pkts[i]). Promote lifts one
+// into a Link.
+type BatchLink interface {
+	PacketLink
+	ExchangeBatch(pkts [][]byte) [][][]byte
+}
+
+// ArenaLink is the historical name for links that implement the canonical
+// arena-batched exchange alongside the legacy per-packet one. New code
+// should implement and accept plain Link.
+type ArenaLink interface {
+	PacketLink
+	Link
+}
+
+// Promote lifts any known link generation into the canonical Link. A
+// value already implementing Link (however partially historical its other
+// methods) is returned as-is; BatchLink and PacketLink implementations get
+// an adapter that copies their replies into the caller's arena, keeping
+// the first reply per packet (see the package comment for why that is
+// semantics-preserving). Promote panics on nil or on a value implementing
+// no known generation — both are wiring bugs, not runtime conditions.
+func Promote(link any) Link {
+	switch l := link.(type) {
+	case Link:
+		return l
+	case BatchLink:
+		return batchAdapter{l}
+	case PacketLink:
+		return packetAdapter{l}
+	}
+	panic(fmt.Sprintf("wire: %T implements no known link generation", link))
+}
+
+// batchAdapter lifts a BatchLink: one ExchangeBatch per exchange, replies
+// copied into the arena.
+type batchAdapter struct{ l BatchLink }
+
+func (a batchAdapter) ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf) {
+	replies := a.l.ExchangeBatch(pkts)
+	rb.Reset(len(pkts))
+	for i := range pkts {
+		if i < len(replies) && len(replies[i]) > 0 {
+			rb.PutRaw(i, replies[i][0])
+		}
+	}
+}
+
+// packetAdapter lifts a PacketLink: one Exchange per packet, replies
+// copied into the arena.
+type packetAdapter struct{ l PacketLink }
+
+func (a packetAdapter) ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf) {
+	rb.Reset(len(pkts))
+	for i, pkt := range pkts {
+		if rs := a.l.Exchange(pkt); len(rs) > 0 {
+			rb.PutRaw(i, rs[0])
+		}
+	}
+}

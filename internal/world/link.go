@@ -2,10 +2,16 @@ package world
 
 import "seedscan/internal/probe"
 
-// WireLink adapts the world to the scanner's Link interface: every packet
-// sent is handled synchronously by the responder, and the replies come
-// back as received packets. It is the in-process stand-in for a raw
-// socket.
+// WireLink adapts the world to the canonical wire.Link: every batch of
+// packets sent is handled synchronously by the responder, and the replies
+// come back in the caller-owned arena. It is the in-process stand-in for a
+// raw socket.
+//
+// The legacy Exchange and ExchangeBatch methods are gone — the latter
+// allocated a fresh ReplyBuf plus one reply slice per packet on every
+// call; the canonical interface is allocation-free and every consumer now
+// speaks it (compose observers onto it with wire.Chain, or lift a
+// legacy-shaped fake with wire.Promote).
 type WireLink struct {
 	w *World
 }
@@ -13,28 +19,9 @@ type WireLink struct {
 // Link returns the world's wire.
 func (w *World) Link() *WireLink { return &WireLink{w: w} }
 
-// Exchange sends one packet into the world and returns any replies.
-func (l *WireLink) Exchange(pkt []byte) [][]byte { return l.w.HandlePacket(pkt) }
-
-// ExchangeBatch implements the scanner's BatchLink: HandlePacket is a
-// stateless pure function of each packet, so answering a chunk in order is
-// exactly equivalent to one Exchange per packet — the batched scanner hot
-// path changes nothing about what the world observes or answers.
-func (l *WireLink) ExchangeBatch(pkts [][]byte) [][][]byte {
-	var rb probe.ReplyBuf
-	l.w.HandleBatch(pkts, &rb)
-	replies := make([][][]byte, len(pkts))
-	for i := range pkts {
-		if r := rb.Reply(i); r != nil {
-			replies[i] = [][]byte{r}
-		}
-	}
-	return replies
-}
-
-// ExchangeBatchInto implements the scanner's ArenaLink: the whole batch is
-// answered into the caller-owned rb with no per-packet allocation. Replies
-// alias rb's arena and are valid until its next Reset.
+// ExchangeBatchInto implements wire.Link: the whole batch is answered into
+// the caller-owned rb with no per-packet allocation. Replies alias rb's
+// arena and are valid until its next Reset.
 func (l *WireLink) ExchangeBatchInto(pkts [][]byte, rb *probe.ReplyBuf) {
 	l.w.HandleBatch(pkts, rb)
 }
